@@ -1,0 +1,28 @@
+//! # int-apps
+//!
+//! The simulated applications that populate the testbed (paper Fig. 1):
+//!
+//! * [`probe::ProbeSenderApp`] — each edge server's periodic INT probe
+//!   toward the scheduler (default 100 ms interval, §III-A),
+//! * [`scheduler::SchedulerApp`] — the scheduler service: collects probes,
+//!   maintains the network map, answers ranking queries,
+//! * [`task::TaskSubmitterApp`] / [`task::TaskExecutorApp`] — edge devices
+//!   submitting task data over TCP and edge servers executing tasks,
+//! * [`iperf::IperfSenderApp`] / [`sink::UdpSinkApp`] — iperf-style
+//!   background traffic generation and sinks,
+//! * [`ping::PingApp`] / [`ping::EchoResponderApp`] — RTT measurement, the
+//!   paper's Fig. 3 ground-truth delay probe.
+
+pub mod iperf;
+pub mod ping;
+pub mod probe;
+pub mod scheduler;
+pub mod sink;
+pub mod task;
+
+pub use iperf::IperfSenderApp;
+pub use ping::{EchoResponderApp, PingApp};
+pub use probe::{ProbeCollectorApp, ProbeRelayApp, ProbeSenderApp};
+pub use scheduler::SchedulerApp;
+pub use sink::UdpSinkApp;
+pub use task::{TaskExecutorApp, TaskRecord, TaskSubmitterApp};

@@ -1,0 +1,127 @@
+//! The scheduler service (paper Fig. 1, node 6 in the evaluation).
+//!
+//! Binds the probe port (collecting INT) and the scheduler port (answering
+//! `SchedRequest` queries with ranked candidate lists). The ranking policy
+//! is fixed per experiment: the INT policies consult the learned map, the
+//! baselines ignore it.
+
+use int_core::rank::StaticDistances;
+use int_core::{CoreConfig, Policy, SchedulerCore};
+use int_netsim::{App, AppCtx};
+use int_packet::msgs::ControlMsg;
+use int_packet::wire::{WireDecode, WireEncode};
+use int_packet::{RelayedProbe, PROBE_RELAY_UDP_PORT, PROBE_UDP_PORT, SCHEDULER_UDP_PORT};
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+/// The scheduler application.
+pub struct SchedulerApp {
+    core: SchedulerCore,
+    policy: Policy,
+    queries_served: u64,
+    probes_received: u64,
+}
+
+impl SchedulerApp {
+    /// Scheduler on `host_id` applying `policy` to every query.
+    pub fn new(
+        host_id: u32,
+        policy: Policy,
+        cfg: CoreConfig,
+        distances: StaticDistances,
+        seed: u64,
+    ) -> Self {
+        SchedulerApp {
+            core: SchedulerCore::new(host_id, cfg, distances, seed),
+            policy,
+            queries_served: 0,
+            probes_received: 0,
+        }
+    }
+
+    /// The scheduler core (learned map, collector stats).
+    pub fn core(&self) -> &SchedulerCore {
+        &self.core
+    }
+
+    /// Mutable access to the core (custom ranking calls, tuning).
+    pub fn core_mut(&mut self) -> &mut SchedulerCore {
+        &mut self.core
+    }
+
+    /// Pre-register candidate hosts (needed when INT probing is disabled,
+    /// i.e. for the Nearest/Random baselines).
+    pub fn register_hosts(&mut self, hosts: &[u32]) {
+        for &h in hosts {
+            self.core.register_host(h);
+        }
+    }
+
+    /// Queries answered.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// Probes ingested.
+    pub fn probes_received(&self) -> u64 {
+        self.probes_received
+    }
+}
+
+impl App for SchedulerApp {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.bind_udp(PROBE_UDP_PORT);
+        ctx.bind_udp(PROBE_RELAY_UDP_PORT);
+        ctx.bind_udp(SCHEDULER_UDP_PORT);
+    }
+
+    fn on_udp(
+        &mut self,
+        ctx: &mut AppCtx<'_>,
+        from: Ipv4Addr,
+        from_port: u16,
+        to_port: u16,
+        payload: &[u8],
+    ) {
+        match to_port {
+            PROBE_UDP_PORT => {
+                self.probes_received += 1;
+                self.core.on_probe(payload, ctx.now.as_nanos());
+            }
+            PROBE_RELAY_UDP_PORT => {
+                if let Ok(r) = RelayedProbe::decode(&mut &payload[..]) {
+                    self.probes_received += 1;
+                    self.core
+                        .collector_mut()
+                        .ingest_relayed(&r.probe, r.terminal_node, r.rx_ts_ns);
+                }
+            }
+            SCHEDULER_UDP_PORT => {
+                let Ok(msg) = ControlMsg::decode(&mut &payload[..]) else { return };
+                let ControlMsg::SchedRequest { requester, job_id, .. } = msg else { return };
+                self.queries_served += 1;
+
+                let ranked = self.core.rank_with(requester, self.policy, ctx.now.as_nanos());
+                let candidates = ranked
+                    .into_iter()
+                    .map(|r| int_packet::msgs::Candidate {
+                        node: r.host,
+                        est_delay_ns: r.est_delay_ns,
+                        est_bandwidth_bps: r.est_bandwidth_bps,
+                    })
+                    .collect();
+                let resp = ControlMsg::SchedResponse { job_id, candidates };
+                ctx.send_udp(SCHEDULER_UDP_PORT, from, from_port, resp.to_bytes());
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,74 @@
+//! Wire-format hot paths: what every simulated packet pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use int_bench::probe_with_hops;
+use int_packet::wire::{WireDecode, WireEncode};
+use int_packet::{PacketBuilder, ParsedPacket, ProbePayload, TcpFlags, TcpHeader};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn builder() -> PacketBuilder {
+    PacketBuilder::between(1, Ipv4Addr::new(10, 0, 0, 1), 2, Ipv4Addr::new(10, 0, 0, 2))
+}
+
+fn bench_frame_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_build");
+    for payload_len in [64usize, 512, 1400] {
+        let payload = vec![0u8; payload_len];
+        g.throughput(Throughput::Bytes(payload_len as u64));
+        g.bench_with_input(BenchmarkId::new("udp", payload_len), &payload, |b, p| {
+            b.iter(|| black_box(builder().udp(5000, 5001, p)));
+        });
+        let tcp = TcpHeader {
+            src_port: 40000,
+            dst_port: 7100,
+            seq: 1,
+            ack: 2,
+            flags: TcpFlags::ACK,
+            window: 65535,
+        };
+        g.bench_with_input(BenchmarkId::new("tcp", payload_len), &payload, |b, p| {
+            b.iter(|| black_box(builder().tcp(tcp, p)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_frame_parse(c: &mut Criterion) {
+    let frame = builder().udp(5000, 5001, &vec![0u8; 1400]);
+    c.bench_function("frame_parse/udp_1400", |b| {
+        b.iter(|| black_box(ParsedPacket::parse(black_box(&frame)).unwrap()))
+    });
+    let probe_frame = builder().udp_msg(41000, int_packet::PROBE_UDP_PORT, &probe_with_hops(6));
+    c.bench_function("frame_parse/probe_detect", |b| {
+        b.iter(|| {
+            let p = ParsedPacket::parse(black_box(&probe_frame)).unwrap();
+            black_box(p.is_int_probe(&probe_frame))
+        })
+    });
+}
+
+fn bench_probe_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe_codec");
+    for hops in [1usize, 6, 12] {
+        let probe = probe_with_hops(hops);
+        let bytes = probe.to_bytes();
+        g.bench_with_input(BenchmarkId::new("encode", hops), &probe, |b, p| {
+            b.iter(|| black_box(p.to_bytes()))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", hops), &bytes, |b, by| {
+            b.iter(|| black_box(ProbePayload::decode(&mut &by[..]).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1500];
+    c.bench_function("internet_checksum/1500B", |b| {
+        b.iter(|| black_box(int_packet::wire::internet_checksum(black_box(&data))))
+    });
+}
+
+criterion_group!(benches, bench_frame_build, bench_frame_parse, bench_probe_codec, bench_checksum);
+criterion_main!(benches);

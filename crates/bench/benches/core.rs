@@ -1,0 +1,94 @@
+//! Scheduler-core hot paths: probe ingestion, graph traversal, estimation,
+//! and ranking — what the scheduler pays per probe and per query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use int_core::rank::{Ranker, StaticDistances};
+use int_core::{CoreConfig, DelayEstimator, IntCollector, NetNode, NetworkMap, Policy};
+use int_packet::int::IntRecord;
+use int_packet::ProbePayload;
+use std::hint::black_box;
+
+fn probe_through(origin: u32, switches: &[u32], maxq: u32) -> ProbePayload {
+    let mut p = ProbePayload::new(origin, 1, 0);
+    for (i, &s) in switches.iter().enumerate() {
+        p.int.push(IntRecord {
+            switch_id: s,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: maxq,
+            qlen_at_probe_pkts: maxq / 2,
+            link_latency_ns: 10_000_000,
+            egress_ts_ns: (i as u64 + 1) * 11_000_000,
+        });
+    }
+    p
+}
+
+/// A ring-of-12 map as the paper's testbed produces, fully learned.
+fn ring_map(hosts: u32) -> NetworkMap {
+    let mut m = NetworkMap::new();
+    for h in 0..hosts {
+        // Host h probes the scheduler (host 100) across 4 ring switches.
+        let chain: Vec<u32> = (0..4).map(|i| (h + i) % 12 + 10).collect();
+        m.apply_probe(&probe_through(h, &chain, h % 8), 100, 50_000_000);
+        // And the reverse path.
+        let rev: Vec<u32> = chain.iter().rev().copied().collect();
+        m.apply_probe(&probe_through(100, &rev, h % 5), h, 50_000_000);
+    }
+    m
+}
+
+fn bench_probe_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collector_ingest");
+    for hops in [2usize, 5, 10] {
+        let switches: Vec<u32> = (0..hops as u32).collect();
+        let probe = probe_through(1, &switches, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(hops), &probe, |b, p| {
+            let mut col = IntCollector::new(100);
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 100_000_000;
+                col.ingest(black_box(p), t);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_path_traversal(c: &mut Criterion) {
+    let m = ring_map(8);
+    let cfg = CoreConfig::default();
+    c.bench_function("map/path_lookup", |b| {
+        b.iter(|| black_box(m.path(&cfg, NetNode::Host(0), NetNode::Host(4))))
+    });
+}
+
+fn bench_delay_estimate(c: &mut Criterion) {
+    let m = ring_map(8);
+    let est = DelayEstimator::new(CoreConfig::default());
+    c.bench_function("estimate/delay_one_pair", |b| {
+        b.iter(|| black_box(est.estimate(&m, NetNode::Host(0), NetNode::Host(4), 50_000_000)))
+    });
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank_query");
+    for n in [4u32, 8, 16] {
+        let m = ring_map(n);
+        let candidates: Vec<u32> = (0..n).collect();
+        for policy in [Policy::IntDelay, Policy::IntBandwidth, Policy::Nearest] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), n),
+                &candidates,
+                |b, cands| {
+                    let mut r = Ranker::new(CoreConfig::default(), StaticDistances::new(), 1);
+                    b.iter(|| black_box(r.rank(&m, 100, cands, policy, 50_000_000)))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe_ingest, bench_path_traversal, bench_delay_estimate, bench_ranking);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Simulator-engine throughput: event queue operations, packets simulated
+//! per second, and TCP transfer wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use int_apps::iperf::{IperfConfig, IperfSenderApp, IPERF_UDP_PORT};
+use int_apps::UdpSinkApp;
+use int_netsim::{
+    Event, EventQueue, LinkParams, NodeId, SimConfig, SimDuration, SimTime, Simulator, Topology,
+};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(
+                    SimTime(i * 37 % 1000),
+                    Event::AppTimer { node: NodeId(0), app_idx: 0, timer_id: i },
+                );
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn line_topo() -> (Topology, NodeId, NodeId) {
+    let mut t = Topology::new();
+    let h1 = t.add_host("h1");
+    let s1 = t.add_switch("s1");
+    let h2 = t.add_host("h2");
+    let fast = LinkParams {
+        bandwidth_bps: 1_000_000_000,
+        delay: SimDuration::from_millis(10),
+        queue_cap_pkts: 256,
+    };
+    t.add_link(h1, s1, fast);
+    t.add_link(s1, h2, fast);
+    (t, h1, h2)
+}
+
+fn bench_packet_throughput(c: &mut Criterion) {
+    // Simulate 5 seconds of a near-saturating CBR flow through one switch
+    // and report simulated-packet throughput.
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    // ~19 Mbit/s of 1472 B payloads ≈ 1600 pkt/s × 5 s ≈ 8000 packets.
+    g.throughput(Throughput::Elements(8000));
+    g.bench_function("cbr_5s_one_switch", |b| {
+        b.iter(|| {
+            let (t, h1, h2) = line_topo();
+            let mut sim = Simulator::new(t, SimConfig::default());
+            sim.install_app(
+                h1,
+                Box::new(IperfSenderApp::new(IperfConfig::new(
+                    Topology::host_ip(h2),
+                    19_000_000,
+                    SimTime::ZERO,
+                    SimDuration::from_secs(5),
+                ))),
+            );
+            sim.install_app(h2, Box::new(UdpSinkApp::new(IPERF_UDP_PORT)));
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+            black_box(sim.stats().frames_delivered)
+        })
+    });
+    g.finish();
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    use int_netsim::{App, AppCtx, TcpEvent};
+    use std::any::Any;
+    use std::net::Ipv4Addr;
+
+    struct Client {
+        dst: Ipv4Addr,
+        len: usize,
+    }
+    impl App for Client {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            let conn = ctx.tcp_connect(self.dst, 7100);
+            ctx.tcp_send(conn, vec![0u8; self.len]);
+            ctx.tcp_close(conn);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    #[derive(Default)]
+    struct Server {
+        bytes: usize,
+    }
+    impl App for Server {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            ctx.tcp_listen(7100);
+        }
+        fn on_tcp(&mut self, _c: &mut AppCtx<'_>, ev: TcpEvent) {
+            if let TcpEvent::Data { data, .. } = ev {
+                self.bytes += data.len();
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    let mut g = c.benchmark_group("tcp_transfer");
+    g.sample_size(10);
+    let len = 1_000_000usize;
+    g.throughput(Throughput::Bytes(len as u64));
+    g.bench_function("1MB_through_switch", |b| {
+        b.iter(|| {
+            let (t, h1, h2) = line_topo();
+            let mut sim = Simulator::new(t, SimConfig::default());
+            sim.install_app(h1, Box::new(Client { dst: Topology::host_ip(h2), len }));
+            let srv = sim.install_app(h2, Box::new(Server::default()));
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+            let got = sim.app::<Server>(h2, srv).unwrap().bytes;
+            assert_eq!(got, len);
+            black_box(got)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_packet_throughput, bench_tcp_transfer);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! One benchmark per paper table/figure, exercising the exact harness
+//! code `repro` runs — at a small scale so `cargo bench` stays tractable.
+//! The paper-scale numbers in EXPERIMENTS.md come from the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use int_experiments::{ablation, fig3, fig5, fig6, fig7, fig8, fig9, tab1};
+use int_netsim::SimDuration;
+use std::hint::black_box;
+
+const BENCH_TASKS: usize = 8;
+
+fn bench_tab1(c: &mut Criterion) {
+    c.bench_function("tab1_workload", |b| b.iter(|| black_box(tab1::run(1, 200))));
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_queue_vs_util", |b| {
+        let cfg = fig3::Fig3Config {
+            utilizations: vec![0.3, 0.9],
+            duration: SimDuration::from_secs(10),
+            ..fig3::Fig3Config::default()
+        };
+        b.iter(|| black_box(fig3::run(&cfg)))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig5_serverless_delay", |b| {
+        b.iter(|| black_box(fig5::run(1, BENCH_TASKS)))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig6_distributed_delay", |b| {
+        b.iter(|| black_box(fig6::run(1, BENCH_TASKS)))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig7_distributed_bw", |b| b.iter(|| black_box(fig7::run(1, BENCH_TASKS))));
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig8_ecdf", |b| b.iter(|| black_box(fig8::run(1, BENCH_TASKS))));
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig9_probe_interval", |b| {
+        let intervals = [SimDuration::from_millis(100), SimDuration::from_secs(10)];
+        b.iter(|| black_box(fig9::run_sweep(1, BENCH_TASKS, &intervals)))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("ablation_k_sweep", |b| {
+        b.iter(|| black_box(ablation::run_k_sweep(1, BENCH_TASKS, &[0, 20])))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tab1,
+    bench_fig3,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! The scheduler-side INT collector (paper Fig. 1, step 2).
+//!
+//! Receives probe payloads, validates them, tracks per-origin sequence
+//! continuity (probe loss / reordering), and folds telemetry into the
+//! [`NetworkMap`].
+
+use crate::map::NetworkMap;
+use int_packet::wire::WireDecode;
+use int_packet::{ProbePayload, Result as PacketResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-origin probe accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OriginStats {
+    /// Probes accepted from this origin.
+    pub received: u64,
+    /// Highest sequence number seen.
+    pub max_seq: u64,
+    /// Sequence gaps observed (probes presumed lost in the network).
+    pub lost: u64,
+    /// Probes that arrived with a lower-than-expected sequence.
+    pub reordered: u64,
+    /// Receive time of the most recent probe, ns.
+    pub last_rx_ns: u64,
+}
+
+/// The INT collector.
+#[derive(Debug, Clone, Default)]
+pub struct IntCollector {
+    map: NetworkMap,
+    scheduler_host: u32,
+    origins: BTreeMap<u32, OriginStats>,
+    parse_errors: u64,
+}
+
+impl IntCollector {
+    /// Collector running on `scheduler_host`.
+    pub fn new(scheduler_host: u32) -> Self {
+        let mut map = NetworkMap::new();
+        map.register_host(scheduler_host);
+        IntCollector { map, scheduler_host, origins: BTreeMap::new(), parse_errors: 0 }
+    }
+
+    /// The learned network map.
+    pub fn map(&self) -> &NetworkMap {
+        &self.map
+    }
+
+    /// Mutable access to the map (host pre-registration).
+    pub fn map_mut(&mut self) -> &mut NetworkMap {
+        &mut self.map
+    }
+
+    /// Host this collector runs on.
+    pub fn scheduler_host(&self) -> u32 {
+        self.scheduler_host
+    }
+
+    /// Per-origin accounting.
+    pub fn origin_stats(&self, origin: u32) -> OriginStats {
+        self.origins.get(&origin).copied().unwrap_or_default()
+    }
+
+    /// All probe origins seen so far.
+    pub fn origins(&self) -> impl Iterator<Item = u32> + '_ {
+        self.origins.keys().copied()
+    }
+
+    /// Number of probe payloads that failed to parse.
+    pub fn parse_errors(&self) -> u64 {
+        self.parse_errors
+    }
+
+    /// Ingest a raw probe payload (UDP payload bytes as received).
+    /// Returns the decoded probe on success.
+    pub fn ingest_bytes(&mut self, payload: &[u8], now_ns: u64) -> PacketResult<ProbePayload> {
+        match ProbePayload::decode(&mut &payload[..]) {
+            Ok(probe) => {
+                self.ingest(&probe, now_ns);
+                Ok(probe)
+            }
+            Err(e) => {
+                self.parse_errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Ingest a relayed probe: one that terminated at `terminal` (not at
+    /// the scheduler) and was forwarded here (all-pairs probing mode).
+    /// `rx_ts_ns` is the terminal's receive timestamp.
+    pub fn ingest_relayed(&mut self, probe: &ProbePayload, terminal: u32, rx_ts_ns: u64) {
+        let st = self.origins.entry(probe.origin_node).or_default();
+        st.received += 1;
+        st.last_rx_ns = rx_ts_ns;
+        if probe.seq > st.max_seq {
+            st.max_seq = probe.seq;
+        }
+        self.map.register_host(terminal);
+        self.map.apply_probe(probe, terminal, rx_ts_ns);
+    }
+
+    /// Ingest an already-decoded probe.
+    pub fn ingest(&mut self, probe: &ProbePayload, now_ns: u64) {
+        let st = self.origins.entry(probe.origin_node).or_default();
+        st.received += 1;
+        st.last_rx_ns = now_ns;
+        if st.received == 1 {
+            st.max_seq = probe.seq;
+        } else if probe.seq > st.max_seq {
+            // Gap: sequences between max_seq+1 and seq-1 never arrived.
+            st.lost += probe.seq - st.max_seq - 1;
+            st.max_seq = probe.seq;
+        } else {
+            st.reordered += 1;
+        }
+
+        self.map.apply_probe(probe, self.scheduler_host, now_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use int_packet::int::IntRecord;
+    use int_packet::wire::WireEncode;
+
+    fn probe(origin: u32, seq: u64) -> ProbePayload {
+        let mut p = ProbePayload::new(origin, seq, 0);
+        p.int.push(IntRecord {
+            switch_id: 10,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: 3,
+            qlen_at_probe_pkts: 1,
+            link_latency_ns: 10_000_000,
+            egress_ts_ns: 11_000_000,
+        });
+        p
+    }
+
+    #[test]
+    fn ingest_updates_map_and_stats() {
+        let mut c = IntCollector::new(6);
+        c.ingest(&probe(1, 0), 21_000_000);
+        assert_eq!(c.origin_stats(1).received, 1);
+        assert!(c.map().edge_count() > 0);
+        assert_eq!(c.origins().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn sequence_gaps_count_as_loss() {
+        let mut c = IntCollector::new(6);
+        c.ingest(&probe(1, 0), 1);
+        c.ingest(&probe(1, 1), 2);
+        c.ingest(&probe(1, 5), 3); // 2,3,4 lost
+        let st = c.origin_stats(1);
+        assert_eq!(st.received, 3);
+        assert_eq!(st.lost, 3);
+        assert_eq!(st.reordered, 0);
+        assert_eq!(st.max_seq, 5);
+    }
+
+    #[test]
+    fn reordering_detected() {
+        let mut c = IntCollector::new(6);
+        c.ingest(&probe(1, 3), 1);
+        c.ingest(&probe(1, 2), 2);
+        assert_eq!(c.origin_stats(1).reordered, 1);
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_parse_errors() {
+        let mut c = IntCollector::new(6);
+        let p = probe(2, 7);
+        assert_eq!(c.ingest_bytes(&p.to_bytes(), 50_000_000).unwrap(), p);
+        assert_eq!(c.origin_stats(2).received, 1);
+
+        assert!(c.ingest_bytes(b"garbage", 1).is_err());
+        assert_eq!(c.parse_errors(), 1);
+    }
+
+    #[test]
+    fn scheduler_host_pre_registered() {
+        let c = IntCollector::new(6);
+        assert!(c.map().hosts().any(|h| h == 6));
+    }
+}

@@ -1,0 +1,187 @@
+//! Compute-aware and heterogeneity-aware scheduling extensions.
+//!
+//! The paper's conclusion names two future-work directions: (1) take the
+//! availability of compute on edge servers into account and (2) respect
+//! hardware/software requirements (e.g. GPU, specific frameworks). This
+//! module implements both as a post-processing layer over the network
+//! ranking: filter candidates by capability, then re-order by a blend of
+//! network estimate and current server load.
+
+use crate::rank::RankedServer;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Capabilities an edge server advertises (GPU, ISA, installed runtimes…).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capabilities {
+    tags: BTreeSet<String>,
+}
+
+impl Capabilities {
+    /// No capabilities.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style tag addition.
+    pub fn with(mut self, tag: &str) -> Self {
+        self.tags.insert(tag.to_string());
+        self
+    }
+
+    /// Does this server satisfy every required tag?
+    pub fn satisfies(&self, required: &Capabilities) -> bool {
+        required.tags.is_subset(&self.tags)
+    }
+}
+
+/// Tracked compute state of the fleet.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeTracker {
+    caps: BTreeMap<u32, Capabilities>,
+    /// Outstanding tasks per server (incremented on dispatch, decremented
+    /// on completion callbacks).
+    load: BTreeMap<u32, u32>,
+    /// Task slots per server (1 = serial executor).
+    slots: BTreeMap<u32, u32>,
+}
+
+impl ComputeTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a server with its capabilities and parallel slots.
+    pub fn register(&mut self, host: u32, caps: Capabilities, slots: u32) {
+        self.caps.insert(host, caps);
+        self.slots.insert(host, slots.max(1));
+        self.load.entry(host).or_insert(0);
+    }
+
+    /// A task was dispatched to `host`.
+    pub fn on_dispatch(&mut self, host: u32) {
+        *self.load.entry(host).or_insert(0) += 1;
+    }
+
+    /// A task finished on `host`.
+    pub fn on_complete(&mut self, host: u32) {
+        if let Some(l) = self.load.get_mut(&host) {
+            *l = l.saturating_sub(1);
+        }
+    }
+
+    /// Current outstanding tasks on `host`.
+    pub fn load(&self, host: u32) -> u32 {
+        self.load.get(&host).copied().unwrap_or(0)
+    }
+
+    /// Queue pressure: outstanding tasks beyond free slots (0 when idle
+    /// capacity remains).
+    pub fn pressure(&self, host: u32) -> u32 {
+        let slots = self.slots.get(&host).copied().unwrap_or(1);
+        self.load(host).saturating_sub(slots.saturating_sub(1))
+    }
+
+    /// Filter a network ranking down to servers satisfying `required`,
+    /// preserving order. Unregistered servers are assumed capable (the
+    /// tracker may simply not know them yet).
+    pub fn filter_capable<'a>(
+        &self,
+        ranked: &'a [RankedServer],
+        required: &Capabilities,
+    ) -> Vec<&'a RankedServer> {
+        ranked
+            .iter()
+            .filter(|s| {
+                self.caps.get(&s.host).map(|c| c.satisfies(required)).unwrap_or(true)
+            })
+            .collect()
+    }
+
+    /// Compute-aware re-ranking: stable-sort a network ranking by queue
+    /// pressure so equally loaded servers keep their network order, but a
+    /// backlogged server drops behind an idle one. `exec_est_ns` is the
+    /// caller's estimate of one task's execution time, used to convert
+    /// pressure into a delay penalty comparable with network delay.
+    pub fn rerank(&self, ranked: &[RankedServer], exec_est_ns: u64) -> Vec<RankedServer> {
+        let mut out: Vec<RankedServer> = ranked.to_vec();
+        out.sort_by_key(|s| {
+            let wait = self.pressure(s.host) as u64 * exec_est_ns;
+            (s.est_delay_ns.saturating_add(wait), s.host)
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(host: u32, delay_ms: u64) -> RankedServer {
+        RankedServer {
+            host,
+            est_delay_ns: delay_ms * 1_000_000,
+            est_bandwidth_bps: 10_000_000,
+        }
+    }
+
+    #[test]
+    fn capability_subset_check() {
+        let gpu_server = Capabilities::new().with("gpu").with("keras");
+        let needs_gpu = Capabilities::new().with("gpu");
+        let needs_tpu = Capabilities::new().with("tpu");
+        assert!(gpu_server.satisfies(&needs_gpu));
+        assert!(!gpu_server.satisfies(&needs_tpu));
+        assert!(gpu_server.satisfies(&Capabilities::new()), "no requirements always pass");
+    }
+
+    #[test]
+    fn filter_keeps_order_and_unknown_servers() {
+        let mut t = ComputeTracker::new();
+        t.register(1, Capabilities::new().with("gpu"), 1);
+        t.register(2, Capabilities::new(), 1);
+        // host 3 never registered.
+        let ranked = vec![server(2, 10), server(1, 20), server(3, 30)];
+        let need_gpu = Capabilities::new().with("gpu");
+        let hosts: Vec<u32> = t.filter_capable(&ranked, &need_gpu).iter().map(|s| s.host).collect();
+        assert_eq!(hosts, vec![1, 3], "non-GPU host 2 dropped, unknown host 3 kept");
+    }
+
+    #[test]
+    fn load_tracking_and_pressure() {
+        let mut t = ComputeTracker::new();
+        t.register(1, Capabilities::new(), 2);
+        assert_eq!(t.pressure(1), 0);
+        t.on_dispatch(1);
+        assert_eq!(t.load(1), 1);
+        assert_eq!(t.pressure(1), 0, "one free slot left");
+        t.on_dispatch(1);
+        t.on_dispatch(1);
+        assert_eq!(t.pressure(1), 2);
+        t.on_complete(1);
+        assert_eq!(t.load(1), 2);
+        t.on_complete(1);
+        t.on_complete(1);
+        t.on_complete(1); // extra completion must not underflow
+        assert_eq!(t.load(1), 0);
+    }
+
+    #[test]
+    fn rerank_pushes_backlogged_server_down() {
+        let mut t = ComputeTracker::new();
+        t.register(1, Capabilities::new(), 1);
+        t.register(2, Capabilities::new(), 1);
+        // Network prefers host 1 (30 ms vs 50 ms)…
+        let ranked = vec![server(1, 30), server(2, 50)];
+        // …but host 1 has 3 outstanding tasks of ~100 ms each.
+        for _ in 0..3 {
+            t.on_dispatch(1);
+        }
+        let out = t.rerank(&ranked, 100_000_000);
+        assert_eq!(out[0].host, 2, "idle-but-farther server wins under load");
+        // With negligible execution estimates the network order returns.
+        let out = t.rerank(&ranked, 1);
+        assert_eq!(out[0].host, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end path estimation from the learned map.
+//!
+//! * [`DelayEstimator`] — paper §III-C / Algorithm 1:
+//!   `Delay(e_n, e_m) = Σ delay(l_i) + Σ k · Q(h_i)` where `Q(h_i)` is the
+//!   max queue occupancy of hop *i* in the last probing interval and *k*
+//!   converts queued packets to latency (20 ms by default).
+//! * [`BandwidthEstimator`] — paper §III-D:
+//!   `throughput(e_n, e_m) = min(b_1 … b_k)` where each `b_i` is the
+//!   available bandwidth inferred from the hop's queue occupancy via the
+//!   Fig. 3 utilization curve.
+
+use crate::config::CoreConfig;
+use crate::map::{NetNode, NetworkMap};
+
+/// Components of a delay estimate (useful for diagnostics and ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayBreakdown {
+    /// Σ measured link transmission delays, ns.
+    pub link_delay_ns: u64,
+    /// Σ k·Q inferred hop (queuing) delays, ns.
+    pub hop_delay_ns: u64,
+    /// Number of links on the path.
+    pub links: usize,
+    /// Number of switch hops on the path.
+    pub hops: usize,
+}
+
+impl DelayBreakdown {
+    /// Total estimated one-way delay, ns.
+    pub fn total_ns(&self) -> u64 {
+        self.link_delay_ns + self.hop_delay_ns
+    }
+}
+
+/// Algorithm 1's delay model.
+#[derive(Debug, Clone)]
+pub struct DelayEstimator {
+    cfg: CoreConfig,
+}
+
+impl DelayEstimator {
+    /// Estimator with the given configuration.
+    pub fn new(cfg: CoreConfig) -> Self {
+        DelayEstimator { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Estimate the one-way delay between two hosts over the learned map.
+    /// Returns `None` when the map has no path between them yet.
+    pub fn estimate(
+        &self,
+        map: &NetworkMap,
+        from: NetNode,
+        to: NetNode,
+        now_ns: u64,
+    ) -> Option<DelayBreakdown> {
+        let path = map.path(&self.cfg, from, to)?;
+        Some(self.estimate_along(map, &path, now_ns))
+    }
+
+    /// Estimate along an explicit node path (exposed for ablations).
+    pub fn estimate_along(
+        &self,
+        map: &NetworkMap,
+        path: &[NetNode],
+        now_ns: u64,
+    ) -> DelayBreakdown {
+        let mut link_delay_ns = 0u64;
+        let mut hop_delay_ns = 0u64;
+        let mut links = 0usize;
+        let mut hops = 0usize;
+
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            // Unmeasured links contribute a nominal 10 ms, consistent with
+            // `NetworkMap::path`'s traversal weight.
+            link_delay_ns += map.effective_delay_ns(&self.cfg, a, b).unwrap_or(10_000_000);
+            links += 1;
+            if matches!(a, NetNode::Switch(_)) {
+                let q = map.effective_qlen(&self.cfg, a, b, now_ns);
+                hop_delay_ns += self.cfg.k_ns_per_pkt * q as u64;
+                hops += 1;
+            }
+        }
+        DelayBreakdown { link_delay_ns, hop_delay_ns, links, hops }
+    }
+}
+
+/// §III-D's bottleneck available-bandwidth model.
+#[derive(Debug, Clone)]
+pub struct BandwidthEstimator {
+    cfg: CoreConfig,
+}
+
+impl BandwidthEstimator {
+    /// Estimator with the given configuration.
+    pub fn new(cfg: CoreConfig) -> Self {
+        BandwidthEstimator { cfg }
+    }
+
+    /// Estimate available path bandwidth between two hosts, bit/s.
+    pub fn estimate(
+        &self,
+        map: &NetworkMap,
+        from: NetNode,
+        to: NetNode,
+        now_ns: u64,
+    ) -> Option<u64> {
+        let path = map.path(&self.cfg, from, to)?;
+        Some(self.estimate_along(map, &path, now_ns))
+    }
+
+    /// Estimate along an explicit node path.
+    pub fn estimate_along(&self, map: &NetworkMap, path: &[NetNode], now_ns: u64) -> u64 {
+        let mut bottleneck = self.cfg.link_capacity_bps;
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if matches!(a, NetNode::Switch(_)) {
+                let q = map.effective_qlen(&self.cfg, a, b, now_ns);
+                bottleneck = bottleneck.min(self.cfg.available_bw_for_qlen(q));
+            }
+        }
+        bottleneck
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use int_packet::int::IntRecord;
+    use int_packet::ProbePayload;
+
+    fn rec(switch_id: u32, maxq: u32, egress_ts_ms: u64) -> IntRecord {
+        IntRecord {
+            switch_id,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: maxq,
+            qlen_at_probe_pkts: 0,
+            link_latency_ns: 10_000_000,
+            egress_ts_ns: egress_ts_ms * 1_000_000,
+        }
+    }
+
+    /// Map learned from probes of two servers (hosts 1, 2) through distinct
+    /// switch chains to scheduler host 6: 1→[10,11]→6, 2→[12,11]→6.
+    /// Switch 10's egress queue is congested (20 pkts); 12's is idle.
+    fn map() -> NetworkMap {
+        let mut m = NetworkMap::new();
+        let mut p1 = ProbePayload::new(1, 1, 0);
+        p1.int.push(rec(10, 20, 11));
+        p1.int.push(rec(11, 0, 22));
+        m.apply_probe(&p1, 6, 32_000_000);
+        let mut p2 = ProbePayload::new(2, 1, 0);
+        p2.int.push(rec(12, 0, 11));
+        p2.int.push(rec(11, 0, 22));
+        m.apply_probe(&p2, 6, 32_000_000);
+        m
+    }
+
+    #[test]
+    fn delay_is_links_plus_k_times_queue() {
+        let m = map();
+        let est = DelayEstimator::new(CoreConfig::default());
+        // Path 6 → 11 → 10 → 1: three 10 ms links.
+        // Hops: switch 11 egress→10 (reverse of 10→11 qlen 20) and switch
+        // 10 egress→host1 (reverse of host1→10, qlen 0).
+        let d = est.estimate(&m, NetNode::Host(6), NetNode::Host(1), 32_000_000).unwrap();
+        assert_eq!(d.links, 3);
+        assert_eq!(d.hops, 2);
+        assert_eq!(d.link_delay_ns, 30_000_000);
+        assert_eq!(d.hop_delay_ns, 20 * 20_000_000, "k=20ms × 20 queued packets");
+        assert_eq!(d.total_ns(), 430_000_000);
+    }
+
+    #[test]
+    fn uncongested_path_has_zero_hop_delay() {
+        let m = map();
+        let est = DelayEstimator::new(CoreConfig::default());
+        let d = est.estimate(&m, NetNode::Host(6), NetNode::Host(2), 32_000_000).unwrap();
+        assert_eq!(d.hop_delay_ns, 0);
+        assert_eq!(d.total_ns(), 30_000_000);
+    }
+
+    #[test]
+    fn congestion_ranks_host2_closer_than_host1() {
+        let m = map();
+        let est = DelayEstimator::new(CoreConfig::default());
+        let d1 = est.estimate(&m, NetNode::Host(6), NetNode::Host(1), 32_000_000).unwrap();
+        let d2 = est.estimate(&m, NetNode::Host(6), NetNode::Host(2), 32_000_000).unwrap();
+        assert!(d2.total_ns() < d1.total_ns());
+    }
+
+    #[test]
+    fn bandwidth_bottleneck_is_min_over_path() {
+        let m = map();
+        let est = BandwidthEstimator::new(CoreConfig::default());
+        let b1 = est.estimate(&m, NetNode::Host(6), NetNode::Host(1), 32_000_000).unwrap();
+        let b2 = est.estimate(&m, NetNode::Host(6), NetNode::Host(2), 32_000_000).unwrap();
+        // qlen 20 → util 0.8 → 4 Mbit/s available; idle path → full 20.
+        assert_eq!(b1, 4_000_000);
+        assert_eq!(b2, 20_000_000);
+    }
+
+    #[test]
+    fn unknown_destination_yields_none() {
+        let m = map();
+        let est = DelayEstimator::new(CoreConfig::default());
+        assert!(est.estimate(&m, NetNode::Host(6), NetNode::Host(42), 0).is_none());
+    }
+
+    #[test]
+    fn self_path_is_free() {
+        let m = map();
+        let est = DelayEstimator::new(CoreConfig::default());
+        let d = est.estimate(&m, NetNode::Host(1), NetNode::Host(1), 0).unwrap();
+        assert_eq!(d.total_ns(), 0);
+        assert_eq!(d.links, 0);
+    }
+}

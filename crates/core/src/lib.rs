@@ -1,0 +1,47 @@
+//! # int-core
+//!
+//! The paper's primary contribution: an **INT-driven network-aware task
+//! scheduler for edge computing** (Shrestha, Cziva, Arslan — IPDPSW 2021).
+//!
+//! The crate consumes *only bytes* — parsed probe payloads from
+//! `int-packet` — so it can sit behind a real INT deployment just as well
+//! as behind the bundled simulator. The pipeline:
+//!
+//! 1. [`collector::IntCollector`] ingests probe packets arriving at the
+//!    scheduler, validates them, tracks per-origin loss/reordering, and
+//!    feeds the network map.
+//! 2. [`map::NetworkMap`] reconstructs the topology from the *order* of INT
+//!    records (paper §III-B) and maintains per-directed-link state: the
+//!    measured link latency and the max queue occupancy harvested from each
+//!    switch's registers.
+//! 3. [`estimate`] turns that state into end-to-end path estimates: delay
+//!    via `Σ link_delay + Σ k·maxQ` (paper §III-C, Algorithm 1) and
+//!    available bandwidth via a queue-occupancy→utilization curve with
+//!    bottleneck aggregation (paper §III-D).
+//! 4. [`rank`] orders candidate edge servers for a requesting device under
+//!    a [`rank::Policy`]: the two INT-based policies plus the paper's
+//!    baselines (*Nearest*, *Random*).
+//! 5. [`sched::SchedulerCore`] glues it together behind the
+//!    request/response interface of Fig. 1 (steps 3–4).
+//!
+//! Extensions the paper lists as future work are also implemented:
+//! [`tuning`] (data-driven calibration of the conversion factor *k*),
+//! [`compute`] (compute-aware and heterogeneity-aware filtering), and
+//! [`coverage`] (probe route coverage audit).
+
+pub mod collector;
+pub mod compute;
+pub mod config;
+pub mod coverage;
+pub mod estimate;
+pub mod map;
+pub mod rank;
+pub mod sched;
+pub mod tuning;
+
+pub use collector::IntCollector;
+pub use config::CoreConfig;
+pub use estimate::{BandwidthEstimator, DelayEstimator};
+pub use map::{EdgeState, NetNode, NetworkMap};
+pub use rank::{Policy, RankedServer};
+pub use sched::SchedulerCore;

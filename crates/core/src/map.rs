@@ -1,0 +1,507 @@
+//! The dynamically learned network map (paper §III-B).
+//!
+//! The scheduler never receives a topology file: it deduces adjacency from
+//! the *order* of INT records in probe packets ("if a probe packet contains
+//! INT data in S1-S3-S4 order, S1–S3 and S3–S4 are connected") and
+//! annotates each directed link with the latest measured latency and the
+//! max queue occupancy harvested from the upstream switch's register.
+
+use crate::config::{CoreConfig, DirectionFallback, HopSignal};
+use int_packet::ProbePayload;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A node in the learned map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NetNode {
+    /// An edge host (device, server, or the scheduler itself).
+    Host(u32),
+    /// A switch, identified by the id it stamps into INT records.
+    Switch(u32),
+}
+
+/// Telemetry state of one *directed* link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeState {
+    /// Smoothed link latency, ns (EWMA over probe measurements).
+    pub delay_ns: u64,
+    /// Latest raw latency sample, ns.
+    pub last_delay_ns: u64,
+    /// Max queue occupancy of the upstream egress port during the last
+    /// probing interval, packets.
+    pub max_qlen_pkts: u32,
+    /// Queue occupancy at the instant the probe was enqueued, packets
+    /// (the ablation's "average-like" signal).
+    pub qlen_at_probe_pkts: u32,
+    /// When the queue measurement was taken (collector clock, ns).
+    pub qlen_updated_ns: u64,
+    /// When any field was last updated (collector clock, ns).
+    pub updated_ns: u64,
+    /// Total probe samples folded into this edge.
+    pub samples: u64,
+    /// Recent (timestamp, harvested max-queue) samples, newest last; the
+    /// effective queue signal is the max over a configurable window.
+    pub qlen_history: Vec<(u64, u32)>,
+}
+
+impl EdgeState {
+    fn new(now_ns: u64) -> Self {
+        EdgeState {
+            delay_ns: 0,
+            last_delay_ns: 0,
+            max_qlen_pkts: 0,
+            qlen_at_probe_pkts: 0,
+            qlen_updated_ns: now_ns,
+            updated_ns: now_ns,
+            samples: 0,
+            qlen_history: Vec::new(),
+        }
+    }
+
+    /// Max harvested queue length over `[now - window, now]`.
+    pub fn windowed_max_qlen(&self, now_ns: u64, window_ns: u64) -> u32 {
+        let cutoff = now_ns.saturating_sub(window_ns);
+        self.qlen_history
+            .iter()
+            .filter(|(ts, _)| *ts >= cutoff)
+            .map(|(_, q)| *q)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The learned network graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetworkMap {
+    edges: BTreeMap<(NetNode, NetNode), EdgeState>,
+    hosts: BTreeSet<u32>,
+    switches: BTreeSet<u32>,
+}
+
+impl NetworkMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Known edge hosts (probe origins and the scheduler).
+    pub fn hosts(&self) -> impl Iterator<Item = u32> + '_ {
+        self.hosts.iter().copied()
+    }
+
+    /// Known switches.
+    pub fn switches(&self) -> impl Iterator<Item = u32> + '_ {
+        self.switches.iter().copied()
+    }
+
+    /// Number of directed edges with state.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All directed edges (deterministic order).
+    pub fn edges(&self) -> impl Iterator<Item = (NetNode, NetNode, &EdgeState)> + '_ {
+        self.edges.iter().map(|((a, b), s)| (*a, *b, s))
+    }
+
+    /// Directed edge state, if probed.
+    pub fn edge(&self, from: NetNode, to: NetNode) -> Option<&EdgeState> {
+        self.edges.get(&(from, to))
+    }
+
+    /// Register a host that may not originate probes (e.g. the scheduler
+    /// itself, or a device that only submits queries).
+    pub fn register_host(&mut self, host: u32) {
+        self.hosts.insert(host);
+    }
+
+    /// Fold one probe into the map (paper Fig. 2 semantics).
+    ///
+    /// `scheduler_host` is the node the probe terminated at; `now_ns` is
+    /// the collector's receive timestamp, used to measure the final hop's
+    /// link latency from the last switch's egress stamp.
+    pub fn apply_probe(&mut self, probe: &ProbePayload, scheduler_host: u32, now_ns: u64) {
+        self.hosts.insert(probe.origin_node);
+        self.hosts.insert(scheduler_host);
+
+        let records = &probe.int.records;
+        if records.is_empty() {
+            return; // a probe that saw no switch teaches us nothing
+        }
+        for r in records {
+            self.switches.insert(r.switch_id);
+        }
+
+        // Build the node path: origin → s1 → … → sk → scheduler.
+        let mut path = Vec::with_capacity(records.len() + 2);
+        path.push(NetNode::Host(probe.origin_node));
+        path.extend(records.iter().map(|r| NetNode::Switch(r.switch_id)));
+        path.push(NetNode::Host(scheduler_host));
+
+        // Link latencies: record i measured the latency of the link
+        // *into* switch i; the final hop is measured at the collector.
+        for (i, r) in records.iter().enumerate() {
+            self.update_delay(path[i], path[i + 1], r.link_latency_ns, now_ns);
+        }
+        let last = records.last().expect("non-empty");
+        let final_hop = now_ns.saturating_sub(last.egress_ts_ns);
+        self.update_delay(path[records.len()], path[records.len() + 1], final_hop, now_ns);
+
+        // Queue occupancies: record i harvested the max queue of switch
+        // i's egress toward path[i+2] (the node after the switch).
+        for (i, r) in records.iter().enumerate() {
+            self.update_qlen(path[i + 1], path[i + 2], r.max_qlen_pkts, r.qlen_at_probe_pkts, now_ns);
+        }
+    }
+
+    fn update_delay(&mut self, from: NetNode, to: NetNode, sample_ns: u64, now_ns: u64) {
+        let e = self.edges.entry((from, to)).or_insert_with(|| EdgeState::new(now_ns));
+        e.last_delay_ns = sample_ns;
+        e.delay_ns = if e.samples == 0 {
+            sample_ns
+        } else {
+            // EWMA with weight CoreConfig::delay_ewma_new_eighths/8 applied
+            // at query time would need the config; a fixed 2/8 here matches
+            // the default and keeps the map self-contained.
+            (6 * e.delay_ns + 2 * sample_ns) / 8
+        };
+        e.samples += 1;
+        e.updated_ns = now_ns;
+    }
+
+    fn update_qlen(&mut self, from: NetNode, to: NetNode, max_q: u32, inst_q: u32, now_ns: u64) {
+        let e = self.edges.entry((from, to)).or_insert_with(|| EdgeState::new(now_ns));
+        e.max_qlen_pkts = max_q;
+        e.qlen_at_probe_pkts = inst_q;
+        e.qlen_updated_ns = now_ns;
+        e.updated_ns = now_ns;
+        e.qlen_history.push((now_ns, max_q));
+        // Bound memory: keep the most recent 32 harvests.
+        if e.qlen_history.len() > 32 {
+            let excess = e.qlen_history.len() - 32;
+            e.qlen_history.drain(..excess);
+        }
+    }
+
+    /// Effective delay of a directed edge for estimation, honouring the
+    /// direction-fallback policy; `None` if neither direction was probed.
+    pub fn effective_delay_ns(&self, cfg: &CoreConfig, from: NetNode, to: NetNode) -> Option<u64> {
+        if let Some(e) = self.edges.get(&(from, to)) {
+            if e.samples > 0 {
+                return Some(e.delay_ns);
+            }
+        }
+        match cfg.direction_fallback {
+            DirectionFallback::ReverseOk => {
+                self.edges.get(&(to, from)).filter(|e| e.samples > 0).map(|e| e.delay_ns)
+            }
+            DirectionFallback::Strict => None,
+        }
+    }
+
+    /// Effective max queue length of a directed edge, honouring fallback
+    /// and staleness (stale measurements read as an empty queue).
+    pub fn effective_qlen(&self, cfg: &CoreConfig, from: NetNode, to: NetNode, now_ns: u64) -> u32 {
+        let fresh = |e: &EdgeState| {
+            if now_ns.saturating_sub(e.qlen_updated_ns) <= cfg.staleness_ns {
+                Some(match cfg.hop_signal {
+                    HopSignal::MaxQueue => e.windowed_max_qlen(now_ns, cfg.qlen_window_ns),
+                    HopSignal::InstantaneousQueue => e.qlen_at_probe_pkts,
+                })
+            } else {
+                Some(0)
+            }
+        };
+        if let Some(e) = self.edges.get(&(from, to)) {
+            if let Some(q) = fresh(e) {
+                return q;
+            }
+        }
+        if cfg.direction_fallback == DirectionFallback::ReverseOk {
+            if let Some(e) = self.edges.get(&(to, from)) {
+                if let Some(q) = fresh(e) {
+                    return q;
+                }
+            }
+        }
+        0
+    }
+
+    /// Undirected neighbours of a node (for graph traversal).
+    pub fn neighbours(&self, node: NetNode) -> Vec<NetNode> {
+        let mut out = BTreeSet::new();
+        for (a, b) in self.edges.keys() {
+            if *a == node {
+                out.insert(*b);
+            }
+            if *b == node {
+                out.insert(*a);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Shortest path (by effective delay, deterministic tie-break) between
+    /// two nodes over the learned graph. Returns the node sequence
+    /// including endpoints, or `None` if disconnected.
+    pub fn path(&self, cfg: &CoreConfig, from: NetNode, to: NetNode) -> Option<Vec<NetNode>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        // Dijkstra over the undirected learned graph with directed-delay
+        // weights (fallback applies).
+        let mut dist: BTreeMap<NetNode, u64> = BTreeMap::new();
+        let mut prev: BTreeMap<NetNode, NetNode> = BTreeMap::new();
+        let mut heap = std::collections::BinaryHeap::new();
+        dist.insert(from, 0);
+        heap.push(std::cmp::Reverse((0u64, from)));
+
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if dist.get(&u).copied().unwrap_or(u64::MAX) < d {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for v in self.neighbours(u) {
+                // Unmeasured edges get a nominal 10 ms so traversal still
+                // works while the map is warming up.
+                let w = self.effective_delay_ns(cfg, u, v).unwrap_or(10_000_000);
+                let nd = d.saturating_add(w.max(1));
+                if nd < dist.get(&v).copied().unwrap_or(u64::MAX) {
+                    dist.insert(v, nd);
+                    prev.insert(v, u);
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+
+        if !dist.contains_key(&to) {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = *prev.get(&cur)?;
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use int_packet::int::IntRecord;
+
+    fn rec(switch_id: u32, maxq: u32, link_lat_ms: u64, egress_ts_ms: u64) -> IntRecord {
+        IntRecord {
+            switch_id,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: maxq,
+            qlen_at_probe_pkts: 0,
+            link_latency_ns: link_lat_ms * 1_000_000,
+            egress_ts_ns: egress_ts_ms * 1_000_000,
+        }
+    }
+
+    /// Probe from host 1 through switches 10, 11 to scheduler host 6.
+    fn two_hop_probe() -> ProbePayload {
+        let mut p = ProbePayload::new(1, 1, 0);
+        p.int.push(rec(10, 4, 10, 11));
+        p.int.push(rec(11, 9, 10, 22));
+        p
+    }
+
+    #[test]
+    fn topology_learned_from_record_order() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+
+        assert_eq!(m.hosts().collect::<Vec<_>>(), vec![1, 6]);
+        assert_eq!(m.switches().collect::<Vec<_>>(), vec![10, 11]);
+        // Edges: h1→s10, s10→s11, s11→h6 (probe direction).
+        assert!(m.edge(NetNode::Host(1), NetNode::Switch(10)).is_some());
+        assert!(m.edge(NetNode::Switch(10), NetNode::Switch(11)).is_some());
+        assert!(m.edge(NetNode::Switch(11), NetNode::Host(6)).is_some());
+        assert_eq!(m.edge_count(), 3);
+    }
+
+    #[test]
+    fn delays_assigned_to_correct_edges() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        let d1 = m.edge(NetNode::Host(1), NetNode::Switch(10)).unwrap();
+        assert_eq!(d1.delay_ns, 10_000_000);
+        let d2 = m.edge(NetNode::Switch(10), NetNode::Switch(11)).unwrap();
+        assert_eq!(d2.delay_ns, 10_000_000);
+        // Final hop: now (32 ms) − egress stamp of s11 (22 ms) = 10 ms.
+        let d3 = m.edge(NetNode::Switch(11), NetNode::Host(6)).unwrap();
+        assert_eq!(d3.delay_ns, 10_000_000);
+    }
+
+    #[test]
+    fn qlens_assigned_to_switch_egress_edges() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        // s10's register snapshot describes its egress toward s11.
+        assert_eq!(m.edge(NetNode::Switch(10), NetNode::Switch(11)).unwrap().max_qlen_pkts, 4);
+        // s11's snapshot describes its egress toward the scheduler.
+        assert_eq!(m.edge(NetNode::Switch(11), NetNode::Host(6)).unwrap().max_qlen_pkts, 9);
+    }
+
+    #[test]
+    fn delay_ewma_smooths() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        // Second probe with a 20 ms first-link sample.
+        let mut p = ProbePayload::new(1, 2, 0);
+        p.int.push(rec(10, 0, 20, 120));
+        p.int.push(rec(11, 0, 10, 130));
+        m.apply_probe(&p, 6, 140_000_000);
+        let e = m.edge(NetNode::Host(1), NetNode::Switch(10)).unwrap();
+        assert_eq!(e.last_delay_ns, 20_000_000);
+        // EWMA: (6·10 + 2·20)/8 = 12.5 ms
+        assert_eq!(e.delay_ns, 12_500_000);
+        assert_eq!(e.samples, 2);
+    }
+
+    #[test]
+    fn reverse_fallback_supplies_unprobed_direction() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        let cfg = CoreConfig::default();
+        // Forward (device→server) direction s11→s10 was never probed.
+        let d = m.effective_delay_ns(&cfg, NetNode::Switch(11), NetNode::Switch(10));
+        assert_eq!(d, Some(10_000_000), "reverse measurement reused");
+        let q =
+            m.effective_qlen(&cfg, NetNode::Switch(11), NetNode::Switch(10), 32_000_000);
+        assert_eq!(q, 4);
+
+        let strict = CoreConfig {
+            direction_fallback: DirectionFallback::Strict,
+            ..CoreConfig::default()
+        };
+        assert_eq!(m.effective_delay_ns(&strict, NetNode::Switch(11), NetNode::Switch(10)), None);
+        assert_eq!(
+            m.effective_qlen(&strict, NetNode::Switch(11), NetNode::Switch(10), 32_000_000),
+            0
+        );
+    }
+
+    #[test]
+    fn stale_qlen_reads_as_empty() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        let cfg = CoreConfig::default();
+        let fresh = m.effective_qlen(&cfg, NetNode::Switch(10), NetNode::Switch(11), 32_000_000);
+        assert_eq!(fresh, 4);
+        let later = 32_000_000 + cfg.staleness_ns + 1;
+        let stale = m.effective_qlen(&cfg, NetNode::Switch(10), NetNode::Switch(11), later);
+        assert_eq!(stale, 0, "stale measurements must not signal congestion");
+    }
+
+    #[test]
+    fn path_over_learned_graph() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        let cfg = CoreConfig::default();
+        let p = m.path(&cfg, NetNode::Host(6), NetNode::Host(1)).unwrap();
+        assert_eq!(
+            p,
+            vec![NetNode::Host(6), NetNode::Switch(11), NetNode::Switch(10), NetNode::Host(1)]
+        );
+        assert_eq!(m.path(&cfg, NetNode::Host(1), NetNode::Host(1)).unwrap().len(), 1);
+        assert!(m.path(&cfg, NetNode::Host(1), NetNode::Host(99)).is_none());
+    }
+
+    #[test]
+    fn empty_probe_is_ignored() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&ProbePayload::new(1, 1, 0), 6, 1);
+        assert_eq!(m.edge_count(), 0);
+        assert_eq!(m.switches().count(), 0);
+    }
+
+    #[test]
+    fn probes_from_multiple_origins_merge() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        // Host 2 probes through switches 12 → 11.
+        let mut p = ProbePayload::new(2, 1, 0);
+        p.int.push(rec(12, 1, 10, 11));
+        p.int.push(rec(11, 2, 10, 22));
+        m.apply_probe(&p, 6, 32_000_000);
+
+        assert_eq!(m.hosts().collect::<Vec<_>>(), vec![1, 2, 6]);
+        assert_eq!(m.switches().collect::<Vec<_>>(), vec![10, 11, 12]);
+        assert!(m.edge(NetNode::Switch(12), NetNode::Switch(11)).is_some());
+    }
+}
+
+impl NetworkMap {
+    /// Export the learned graph as Graphviz DOT, annotating each directed
+    /// edge with its smoothed delay and current max-queue signal — handy
+    /// for eyeballing what the scheduler believes about the network.
+    pub fn to_dot(&self, cfg: &CoreConfig, now_ns: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph int_map {\n  rankdir=LR;\n");
+        for h in self.hosts() {
+            let _ = writeln!(out, "  h{h} [shape=box, label=\"host {h}\"];");
+        }
+        for s in self.switches() {
+            let _ = writeln!(out, "  s{s} [shape=ellipse, label=\"sw {s}\"];");
+        }
+        let name = |n: NetNode| match n {
+            NetNode::Host(h) => format!("h{h}"),
+            NetNode::Switch(s) => format!("s{s}"),
+        };
+        for (a, b, e) in self.edges() {
+            let q = e.windowed_max_qlen(now_ns, cfg.qlen_window_ns);
+            let style = if q >= 3 { ", color=red, penwidth=2" } else { "" };
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{:.1}ms q{}\"{}];",
+                name(a),
+                name(b),
+                e.delay_ns as f64 / 1e6,
+                q,
+                style
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use int_packet::int::IntRecord;
+
+    #[test]
+    fn dot_export_contains_nodes_and_congestion_highlight() {
+        let mut m = NetworkMap::new();
+        let mut p = ProbePayload::new(1, 1, 0);
+        p.int.push(IntRecord {
+            switch_id: 10,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: 9,
+            qlen_at_probe_pkts: 4,
+            link_latency_ns: 10_000_000,
+            egress_ts_ns: 11_000_000,
+        });
+        m.apply_probe(&p, 6, 21_000_000);
+
+        let dot = m.to_dot(&CoreConfig::default(), 21_000_000);
+        assert!(dot.starts_with("digraph int_map {"));
+        assert!(dot.contains("h1 [shape=box"));
+        assert!(dot.contains("s10 [shape=ellipse"));
+        assert!(dot.contains("h1 -> s10"));
+        assert!(dot.contains("color=red"), "congested edge highlighted: {dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

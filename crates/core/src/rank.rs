@@ -1,0 +1,253 @@
+//! Edge-server ranking policies.
+//!
+//! The two INT-driven policies from the paper (§III-C delay, §III-D
+//! bandwidth) plus the two baselines it compares against (§IV): *Nearest*
+//! (static hop count, precomputed) and *Random* (seeded load spreading).
+
+use crate::config::CoreConfig;
+use crate::estimate::{BandwidthEstimator, DelayEstimator};
+use crate::map::{NetNode, NetworkMap};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A ranking policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// Network-aware, delay-based (Algorithm 1).
+    IntDelay,
+    /// Network-aware, bandwidth-based (§III-D).
+    IntBandwidth,
+    /// Baseline: fewest static hops from the requester.
+    Nearest,
+    /// Baseline: uniformly random order (load balancing).
+    Random,
+}
+
+impl Policy {
+    /// Human-readable label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::IntDelay => "Network-aware",
+            Policy::IntBandwidth => "Network-aware",
+            Policy::Nearest => "Nearest",
+            Policy::Random => "Random",
+        }
+    }
+}
+
+/// One ranked candidate with its estimated network performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankedServer {
+    /// The edge server's host id.
+    pub host: u32,
+    /// Estimated one-way delay from the requester, ns.
+    pub est_delay_ns: u64,
+    /// Estimated available path bandwidth, bit/s.
+    pub est_bandwidth_bps: u64,
+}
+
+/// Static information the baselines need: hop counts between hosts,
+/// computed ahead of time exactly as the paper's Nearest policy assumes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StaticDistances {
+    hops: BTreeMap<(u32, u32), u32>,
+}
+
+impl StaticDistances {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the hop count between a pair (stored symmetrically).
+    pub fn set(&mut self, a: u32, b: u32, hops: u32) {
+        self.hops.insert((a, b), hops);
+        self.hops.insert((b, a), hops);
+    }
+
+    /// Hop count between two hosts, if known.
+    pub fn get(&self, a: u32, b: u32) -> Option<u32> {
+        self.hops.get(&(a, b)).copied()
+    }
+}
+
+/// The ranking engine: owns the estimators and baseline state.
+#[derive(Debug, Clone)]
+pub struct Ranker {
+    delay: DelayEstimator,
+    bandwidth: BandwidthEstimator,
+    distances: StaticDistances,
+    rng: SmallRng,
+}
+
+impl Ranker {
+    /// Build a ranker. `distances` feeds the Nearest baseline; `seed`
+    /// drives the Random baseline.
+    pub fn new(cfg: CoreConfig, distances: StaticDistances, seed: u64) -> Self {
+        Ranker {
+            delay: DelayEstimator::new(cfg.clone()),
+            bandwidth: BandwidthEstimator::new(cfg),
+            distances,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Rank `candidates` for `requester` under `policy`, best first.
+    ///
+    /// Candidates the learned map cannot reach are ranked last (worst
+    /// estimates), never silently dropped — the requester may still need
+    /// them if every server is unreachable during warm-up.
+    pub fn rank(
+        &mut self,
+        map: &NetworkMap,
+        requester: u32,
+        candidates: &[u32],
+        policy: Policy,
+        now_ns: u64,
+    ) -> Vec<RankedServer> {
+        let mut out: Vec<RankedServer> = candidates
+            .iter()
+            .map(|&host| {
+                let delay = self
+                    .delay
+                    .estimate(map, NetNode::Host(requester), NetNode::Host(host), now_ns);
+                let bw = self
+                    .bandwidth
+                    .estimate(map, NetNode::Host(requester), NetNode::Host(host), now_ns);
+                RankedServer {
+                    host,
+                    est_delay_ns: delay.map(|d| d.total_ns()).unwrap_or(u64::MAX),
+                    est_bandwidth_bps: bw.unwrap_or(0),
+                }
+            })
+            .collect();
+
+        match policy {
+            Policy::IntDelay => {
+                out.sort_by_key(|s| (s.est_delay_ns, s.host));
+            }
+            Policy::IntBandwidth => {
+                // Bandwidth estimates are coarse (a piecewise curve over
+                // integer queue lengths), so ties are common; break them by
+                // estimated delay, then host id, instead of herding every
+                // equal-bandwidth query onto the lowest host id.
+                out.sort_by_key(|s| {
+                    (std::cmp::Reverse(s.est_bandwidth_bps), s.est_delay_ns, s.host)
+                });
+            }
+            Policy::Nearest => {
+                out.sort_by_key(|s| {
+                    (self.distances.get(requester, s.host).unwrap_or(u32::MAX), s.host)
+                });
+            }
+            Policy::Random => {
+                out.shuffle(&mut self.rng);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use int_packet::int::IntRecord;
+    use int_packet::ProbePayload;
+
+    fn rec(switch_id: u32, maxq: u32, ts_ms: u64) -> IntRecord {
+        IntRecord {
+            switch_id,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: maxq,
+            qlen_at_probe_pkts: 0,
+            link_latency_ns: 10_000_000,
+            egress_ts_ns: ts_ms * 1_000_000,
+        }
+    }
+
+    /// Scheduler host 6. Server 1 behind congested switch 10 (q=20);
+    /// server 2 behind idle switch 12; both join switch 11 next to 6.
+    fn map() -> NetworkMap {
+        let mut m = NetworkMap::new();
+        let mut p1 = ProbePayload::new(1, 1, 0);
+        p1.int.push(rec(10, 20, 11));
+        p1.int.push(rec(11, 0, 22));
+        m.apply_probe(&p1, 6, 32_000_000);
+        let mut p2 = ProbePayload::new(2, 1, 0);
+        p2.int.push(rec(12, 0, 11));
+        p2.int.push(rec(11, 0, 22));
+        m.apply_probe(&p2, 6, 32_000_000);
+        m
+    }
+
+    fn distances() -> StaticDistances {
+        let mut d = StaticDistances::new();
+        d.set(6, 1, 3);
+        d.set(6, 2, 5); // nearest would pick 1 even though it is congested
+        d
+    }
+
+    #[test]
+    fn int_delay_prefers_uncongested_server() {
+        let mut r = Ranker::new(CoreConfig::default(), distances(), 1);
+        let ranked = r.rank(&map(), 6, &[1, 2], Policy::IntDelay, 32_000_000);
+        assert_eq!(ranked[0].host, 2, "uncongested server wins: {ranked:?}");
+        assert!(ranked[0].est_delay_ns < ranked[1].est_delay_ns);
+    }
+
+    #[test]
+    fn int_bandwidth_prefers_higher_available_bw() {
+        let mut r = Ranker::new(CoreConfig::default(), distances(), 1);
+        let ranked = r.rank(&map(), 6, &[1, 2], Policy::IntBandwidth, 32_000_000);
+        assert_eq!(ranked[0].host, 2);
+        assert!(ranked[0].est_bandwidth_bps > ranked[1].est_bandwidth_bps);
+    }
+
+    #[test]
+    fn nearest_ignores_congestion() {
+        let mut r = Ranker::new(CoreConfig::default(), distances(), 1);
+        let ranked = r.rank(&map(), 6, &[1, 2], Policy::Nearest, 32_000_000);
+        assert_eq!(ranked[0].host, 1, "nearest picks the congested-but-close server");
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let rank_with = |seed| {
+            let mut r = Ranker::new(CoreConfig::default(), distances(), seed);
+            r.rank(&map(), 6, &[1, 2], Policy::Random, 0)
+                .iter()
+                .map(|s| s.host)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rank_with(7), rank_with(7));
+        // Over several draws with different seeds both orders appear.
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..16 {
+            seen.insert(rank_with(seed));
+        }
+        assert!(seen.len() > 1, "random actually varies across seeds");
+    }
+
+    #[test]
+    fn unreachable_candidates_rank_last() {
+        let mut r = Ranker::new(CoreConfig::default(), distances(), 1);
+        let ranked = r.rank(&map(), 6, &[99, 2], Policy::IntDelay, 32_000_000);
+        assert_eq!(ranked[0].host, 2);
+        assert_eq!(ranked[1].host, 99);
+        assert_eq!(ranked[1].est_delay_ns, u64::MAX);
+        assert_eq!(ranked[1].est_bandwidth_bps, 0);
+    }
+
+    #[test]
+    fn ties_break_by_host_id() {
+        // Empty map: every candidate unreachable ⇒ equal keys ⇒ id order.
+        let mut r = Ranker::new(CoreConfig::default(), StaticDistances::new(), 1);
+        let ranked = r.rank(&NetworkMap::new(), 6, &[5, 3, 9], Policy::IntDelay, 0);
+        let hosts: Vec<u32> = ranked.iter().map(|s| s.host).collect();
+        assert_eq!(hosts, vec![3, 5, 9]);
+    }
+}

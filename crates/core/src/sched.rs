@@ -1,0 +1,209 @@
+//! The scheduler frontend (paper Fig. 1): accepts edge-device queries and
+//! answers with ranked candidate edge servers.
+
+use crate::collector::IntCollector;
+use crate::config::CoreConfig;
+use crate::rank::{Policy, RankedServer, Ranker, StaticDistances};
+use int_packet::msgs::{Candidate, RankingKind};
+
+/// The complete scheduler state: collector + ranking engine.
+pub struct SchedulerCore {
+    collector: IntCollector,
+    ranker: Ranker,
+    /// Policy used for INT-based queries (the baselines are selected
+    /// explicitly via [`SchedulerCore::rank_with`]).
+    default_policy: Policy,
+}
+
+impl SchedulerCore {
+    /// Scheduler on `scheduler_host` with the given configuration.
+    /// `distances` feeds the Nearest baseline; `seed` the Random baseline.
+    pub fn new(
+        scheduler_host: u32,
+        cfg: CoreConfig,
+        distances: StaticDistances,
+        seed: u64,
+    ) -> Self {
+        SchedulerCore {
+            collector: IntCollector::new(scheduler_host),
+            ranker: Ranker::new(cfg, distances, seed),
+            default_policy: Policy::IntDelay,
+        }
+    }
+
+    /// The telemetry collector (probe ingest + learned map).
+    pub fn collector(&self) -> &IntCollector {
+        &self.collector
+    }
+
+    /// Mutable access to the collector (probe ingest).
+    pub fn collector_mut(&mut self) -> &mut IntCollector {
+        &mut self.collector
+    }
+
+    /// Ingest a probe payload received over the network.
+    pub fn on_probe(&mut self, payload: &[u8], now_ns: u64) {
+        let _ = self.collector.ingest_bytes(payload, now_ns);
+    }
+
+    /// Register a host as a known candidate without waiting for probes —
+    /// required for the baseline policies, which run with INT disabled and
+    /// therefore never learn hosts from telemetry.
+    pub fn register_host(&mut self, host: u32) {
+        self.collector.map_mut().register_host(host);
+    }
+
+    /// Candidate edge servers for `requester`: every known host except the
+    /// requester itself (paper §IV: all nodes can execute tasks unless they
+    /// are the submitter).
+    pub fn candidates_for(&self, requester: u32) -> Vec<u32> {
+        self.collector.map().hosts().filter(|&h| h != requester).collect()
+    }
+
+    /// Answer a query with the given wire-level ranking kind (Fig. 1
+    /// steps 3–4), best candidate first.
+    pub fn handle_request(
+        &mut self,
+        requester: u32,
+        ranking: RankingKind,
+        now_ns: u64,
+    ) -> Vec<Candidate> {
+        let policy = match ranking {
+            RankingKind::Delay => Policy::IntDelay,
+            RankingKind::Bandwidth => Policy::IntBandwidth,
+        };
+        self.rank_with(requester, policy, now_ns)
+            .into_iter()
+            .map(|r| Candidate {
+                node: r.host,
+                est_delay_ns: r.est_delay_ns,
+                est_bandwidth_bps: r.est_bandwidth_bps,
+            })
+            .collect()
+    }
+
+    /// Rank under an explicit policy (INT-based or baseline).
+    pub fn rank_with(&mut self, requester: u32, policy: Policy, now_ns: u64) -> Vec<RankedServer> {
+        let candidates = self.candidates_for(requester);
+        self.ranker.rank(self.collector.map(), requester, &candidates, policy, now_ns)
+    }
+
+    /// The paper's second serving option (§III-B): an *unsorted* list of
+    /// every candidate with its estimated delay and bandwidth, so the edge
+    /// device can run its own selection algorithm. Candidates come back in
+    /// ascending host-id order, carrying the same estimates `rank_with`
+    /// would sort by.
+    pub fn candidates_with_estimates(&mut self, requester: u32, now_ns: u64) -> Vec<RankedServer> {
+        let mut all = self.rank_with(requester, Policy::IntDelay, now_ns);
+        all.sort_by_key(|s| s.host);
+        all
+    }
+
+    /// The policy used when no explicit policy is requested.
+    pub fn default_policy(&self) -> Policy {
+        self.default_policy
+    }
+
+    /// Override the default policy.
+    pub fn set_default_policy(&mut self, policy: Policy) {
+        self.default_policy = policy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use int_packet::int::IntRecord;
+    use int_packet::wire::WireEncode;
+    use int_packet::ProbePayload;
+
+    fn rec(switch_id: u32, maxq: u32, ts_ms: u64) -> IntRecord {
+        IntRecord {
+            switch_id,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: maxq,
+            qlen_at_probe_pkts: 0,
+            link_latency_ns: 10_000_000,
+            egress_ts_ns: ts_ms * 1_000_000,
+        }
+    }
+
+    fn core_with_two_servers() -> SchedulerCore {
+        let mut d = StaticDistances::new();
+        d.set(6, 1, 3);
+        d.set(6, 2, 5);
+        let mut core = SchedulerCore::new(6, CoreConfig::default(), d, 42);
+        // Server 1 congested (switch 10 q=20), server 2 clean.
+        let mut p1 = ProbePayload::new(1, 1, 0);
+        p1.int.push(rec(10, 20, 11));
+        p1.int.push(rec(11, 0, 22));
+        core.on_probe(&p1.to_bytes(), 32_000_000);
+        let mut p2 = ProbePayload::new(2, 1, 0);
+        p2.int.push(rec(12, 0, 11));
+        p2.int.push(rec(11, 0, 22));
+        core.on_probe(&p2.to_bytes(), 32_000_000);
+        core
+    }
+
+    #[test]
+    fn request_excludes_requester_and_ranks() {
+        let mut core = core_with_two_servers();
+        let resp = core.handle_request(6, RankingKind::Delay, 32_000_000);
+        let hosts: Vec<u32> = resp.iter().map(|c| c.node).collect();
+        assert_eq!(hosts, vec![2, 1], "clean server first, requester absent");
+
+        let resp = core.handle_request(1, RankingKind::Delay, 32_000_000);
+        assert!(resp.iter().all(|c| c.node != 1));
+    }
+
+    #[test]
+    fn bandwidth_request_sorts_by_bandwidth() {
+        let mut core = core_with_two_servers();
+        let resp = core.handle_request(6, RankingKind::Bandwidth, 32_000_000);
+        assert_eq!(resp[0].node, 2);
+        assert!(resp[0].est_bandwidth_bps > resp[1].est_bandwidth_bps);
+    }
+
+    #[test]
+    fn baseline_policies_available() {
+        let mut core = core_with_two_servers();
+        let nearest = core.rank_with(6, Policy::Nearest, 32_000_000);
+        assert_eq!(nearest[0].host, 1, "nearest ignores congestion");
+        let random = core.rank_with(6, Policy::Random, 32_000_000);
+        assert_eq!(random.len(), 2);
+    }
+
+    #[test]
+    fn empty_map_yields_empty_candidates() {
+        let mut core = SchedulerCore::new(6, CoreConfig::default(), StaticDistances::new(), 1);
+        assert!(core.handle_request(6, RankingKind::Delay, 0).is_empty());
+        // Only the scheduler itself is known; a different requester sees it.
+        let resp = core.handle_request(1, RankingKind::Delay, 0);
+        assert_eq!(resp.len(), 1);
+        assert_eq!(resp[0].node, 6);
+    }
+
+    #[test]
+    fn unsorted_option_returns_all_candidates_with_estimates() {
+        let mut core = core_with_two_servers();
+        let all = core.candidates_with_estimates(6, 32_000_000);
+        let hosts: Vec<u32> = all.iter().map(|s| s.host).collect();
+        assert_eq!(hosts, vec![1, 2], "host-id order, not ranked order");
+        // Same estimates the sorted path computes.
+        let ranked = core.rank_with(6, Policy::IntDelay, 32_000_000);
+        for s in &all {
+            let r = ranked.iter().find(|r| r.host == s.host).unwrap();
+            assert_eq!(r.est_delay_ns, s.est_delay_ns);
+            assert_eq!(r.est_bandwidth_bps, s.est_bandwidth_bps);
+        }
+    }
+
+    #[test]
+    fn default_policy_settable() {
+        let mut core = core_with_two_servers();
+        assert_eq!(core.default_policy(), Policy::IntDelay);
+        core.set_default_policy(Policy::IntBandwidth);
+        assert_eq!(core.default_policy(), Policy::IntBandwidth);
+    }
+}

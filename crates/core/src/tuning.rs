@@ -1,0 +1,111 @@
+//! Data-driven calibration of the conversion factor *k* (paper §III-C
+//! leaves "automation and fine-tuning" of k as future work — implemented
+//! here as an extension).
+//!
+//! The idea: the scheduler can observe `(max queue length, measured extra
+//! delay)` pairs — e.g. from RTT probes or from comparing INT link
+//! latencies under load against their uncongested baseline — and fit
+//! `extra_delay ≈ k · qlen` by least squares through the origin.
+
+use serde::{Deserialize, Serialize};
+
+/// Online least-squares fit of `delay = k · qlen` (regression through the
+/// origin, so an empty queue always predicts zero queuing delay).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KFactorTuner {
+    sum_qq: f64,
+    sum_qd: f64,
+    samples: u64,
+}
+
+impl KFactorTuner {
+    /// Fresh tuner with no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an observation: a queue of `qlen` packets coincided with
+    /// `extra_delay_ns` of queuing delay.
+    pub fn observe(&mut self, qlen: u32, extra_delay_ns: u64) {
+        let q = qlen as f64;
+        self.sum_qq += q * q;
+        self.sum_qd += q * extra_delay_ns as f64;
+        self.samples += 1;
+    }
+
+    /// Number of observations folded in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The fitted k in ns/packet, or `None` before any informative sample
+    /// (all-zero queues carry no slope information).
+    pub fn k_ns_per_pkt(&self) -> Option<u64> {
+        if self.sum_qq <= 0.0 {
+            return None;
+        }
+        let k = self.sum_qd / self.sum_qq;
+        if !k.is_finite() || k < 0.0 {
+            return None;
+        }
+        Some(k.round() as u64)
+    }
+
+    /// The fitted k, falling back to `default_ns` (typically the paper's
+    /// 20 ms) until enough data arrived.
+    pub fn k_or(&self, default_ns: u64, min_samples: u64) -> u64 {
+        if self.samples >= min_samples {
+            self.k_ns_per_pkt().unwrap_or(default_ns)
+        } else {
+            default_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_data_recovers_k() {
+        let mut t = KFactorTuner::new();
+        for q in 1..=30u32 {
+            t.observe(q, q as u64 * 5_000_000); // true k = 5 ms/pkt
+        }
+        assert_eq!(t.k_ns_per_pkt(), Some(5_000_000));
+        assert_eq!(t.samples(), 30);
+    }
+
+    #[test]
+    fn noisy_data_recovers_k_approximately() {
+        let mut t = KFactorTuner::new();
+        // Deterministic ±10% "noise" via alternating signs.
+        for q in 1..=100u32 {
+            let noise = if q % 2 == 0 { 1.1 } else { 0.9 };
+            t.observe(q, (q as f64 * 8_000_000.0 * noise) as u64);
+        }
+        let k = t.k_ns_per_pkt().unwrap();
+        assert!((7_500_000..8_500_000).contains(&k), "{k}");
+    }
+
+    #[test]
+    fn zero_queues_are_uninformative() {
+        let mut t = KFactorTuner::new();
+        for _ in 0..10 {
+            t.observe(0, 0);
+        }
+        assert_eq!(t.k_ns_per_pkt(), None);
+        assert_eq!(t.k_or(20_000_000, 1), 20_000_000);
+    }
+
+    #[test]
+    fn k_or_respects_min_samples() {
+        let mut t = KFactorTuner::new();
+        t.observe(10, 100_000_000); // k would be 10 ms
+        assert_eq!(t.k_or(20_000_000, 5), 20_000_000, "too few samples → default");
+        for _ in 0..5 {
+            t.observe(10, 100_000_000);
+        }
+        assert_eq!(t.k_or(20_000_000, 5), 10_000_000);
+    }
+}

@@ -1,0 +1,85 @@
+//! The packet buffer a data-plane program operates on.
+
+use bytes::BytesMut;
+use int_packet::{ParsedPacket, Result};
+
+/// Per-packet user metadata, the analogue of P4 `metadata` structs: scratch
+/// state that travels with the packet between pipeline stages of one switch
+/// and is *not* serialized onto the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Port this packet entered the current switch on.
+    pub ingress_port: Option<u16>,
+    /// Link latency measured at ingress for probe packets
+    /// (`now - upstream_egress_ts`), ns.
+    pub measured_link_latency_ns: Option<u64>,
+    /// Egress-queue depth observed when this packet was enqueued (packets,
+    /// including this one) — BMv2's `enq_qdepth`.
+    pub enq_qdepth_pkts: Option<u32>,
+    /// Monotonically assigned id for tracing packets across hops.
+    pub trace_id: u64,
+}
+
+impl FrameMeta {
+    /// Reset the per-switch fields when a packet leaves a device. The
+    /// `trace_id` survives because it identifies the packet, not the hop.
+    pub fn clear_per_hop(&mut self) {
+        self.ingress_port = None;
+        self.measured_link_latency_ns = None;
+        self.enq_qdepth_pkts = None;
+    }
+}
+
+/// A full Ethernet frame plus pipeline metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Raw frame bytes (Ethernet header first).
+    pub bytes: BytesMut,
+    /// Per-packet metadata (zeroed between switches).
+    pub meta: FrameMeta,
+}
+
+impl Frame {
+    /// Wrap raw frame bytes.
+    pub fn new(bytes: BytesMut) -> Self {
+        Frame { bytes, meta: FrameMeta::default() }
+    }
+
+    /// Wire length in bytes (what occupies link capacity).
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Parse the headers (convenience over [`ParsedPacket::parse`]).
+    pub fn parse(&self) -> Result<ParsedPacket> {
+        ParsedPacket::parse(&self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use int_packet::PacketBuilder;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn wire_len_matches_bytes() {
+        let b = PacketBuilder::between(1, Ipv4Addr::new(10, 0, 0, 1), 2, Ipv4Addr::new(10, 0, 0, 2))
+            .udp(1, 2, &[0u8; 50]);
+        let f = Frame::new(b);
+        assert_eq!(f.wire_len(), 14 + 20 + 8 + 50);
+        assert!(f.parse().is_ok());
+    }
+
+    #[test]
+    fn clear_per_hop_keeps_trace_id() {
+        let mut m = FrameMeta {
+            ingress_port: Some(3),
+            measured_link_latency_ns: Some(10),
+            enq_qdepth_pkts: Some(5),
+            trace_id: 99,
+        };
+        m.clear_per_hop();
+        assert_eq!(m, FrameMeta { trace_id: 99, ..FrameMeta::default() });
+    }
+}

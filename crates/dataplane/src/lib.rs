@@ -1,0 +1,41 @@
+//! # int-dataplane
+//!
+//! A software model of a P4-programmable data plane, equivalent in role to
+//! the BMv2 behavioural-model switch the paper runs its experiments on.
+//!
+//! A [`DataPlaneProgram`] is the P4 program: it is invoked by the switch at
+//! the same three points BMv2 exposes —
+//!
+//! 1. **ingress** ([`DataPlaneProgram::ingress`]): after parsing, before
+//!    enqueueing. Forwarding decisions are made here via match-action
+//!    tables; the INT program also extracts the upstream egress timestamp
+//!    from probe packets here, *before* queuing, so measured link latency
+//!    excludes queuing delay (paper §III-A).
+//! 2. **enqueue observation** ([`DataPlaneProgram::on_enqueue`]): BMv2's
+//!    `enq_qdepth` intrinsic metadata. The INT program folds the observed
+//!    egress-queue depth into its max-queue-length register on *every*
+//!    packet.
+//! 3. **egress** ([`DataPlaneProgram::egress`]): when the packet reaches the
+//!    head of the egress queue and is about to be serialized. The INT
+//!    program appends its telemetry record to probe packets and stamps the
+//!    egress timestamp here, then resets the harvested registers.
+//!
+//! Supporting infrastructure mirrors P4 constructs:
+//! * [`table`] — match-action tables with exact, LPM, and ternary matching,
+//! * [`registers`] — named stateful register arrays,
+//! * [`frame`] — the packet buffer plus per-packet (user) metadata,
+//! * [`programs`] — the concrete programs: plain L3 forwarding and the
+//!   paper's INT telemetry program.
+
+pub mod frame;
+pub mod pipeline;
+pub mod programs;
+pub mod registers;
+pub mod table;
+
+pub use frame::{Frame, FrameMeta};
+pub use pipeline::{DataPlaneProgram, EgressCtx, EnqueueCtx, IngressCtx, IngressVerdict, PortId};
+pub use programs::int_telemetry::{IntProgramConfig, IntTelemetryProgram};
+pub use programs::l3fwd::L3ForwardProgram;
+pub use registers::{RegisterArray, RegisterFile};
+pub use table::{Key, MatchActionTable, MatchKind};

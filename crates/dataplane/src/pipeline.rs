@@ -1,0 +1,88 @@
+//! The data-plane program interface a switch invokes per packet.
+
+use crate::frame::Frame;
+use crate::registers::RegisterFile;
+use std::net::Ipv4Addr;
+
+/// A switch-local port index.
+pub type PortId = u16;
+
+/// Result of ingress processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressVerdict {
+    /// Enqueue on the given egress port.
+    Forward(PortId),
+    /// Discard the packet (no matching route / ACL deny / TTL expired).
+    Drop,
+}
+
+/// Context for ingress processing (BMv2 `standard_metadata` at ingress).
+#[derive(Debug, Clone, Copy)]
+pub struct IngressCtx {
+    /// Current time, ns since simulation epoch.
+    pub now_ns: u64,
+    /// Identity of the switch executing the program.
+    pub switch_id: u32,
+    /// Port the packet arrived on.
+    pub ingress_port: PortId,
+}
+
+/// Context for the enqueue observation point (`enq_qdepth`).
+#[derive(Debug, Clone, Copy)]
+pub struct EnqueueCtx {
+    /// Current time, ns.
+    pub now_ns: u64,
+    /// Egress port whose queue the packet joined.
+    pub port: PortId,
+    /// Queue depth in packets *ahead* of this packet at enqueue time
+    /// (BMv2 `enq_qdepth`): zero on an idle port, so a lone probe never
+    /// reads as congestion.
+    pub qdepth_after_pkts: u32,
+}
+
+/// Context for egress processing (packet at head of queue, about to leave).
+#[derive(Debug, Clone, Copy)]
+pub struct EgressCtx {
+    /// Current time, ns.
+    pub now_ns: u64,
+    /// Identity of the switch executing the program.
+    pub switch_id: u32,
+    /// Port the packet is leaving on.
+    pub egress_port: PortId,
+    /// Queue depth in packets at dequeue time (excluding this packet).
+    pub qdepth_at_deq_pkts: u32,
+}
+
+/// A P4 program: the behaviour a switch executes on every packet.
+///
+/// Implementations must be deterministic — all state lives in their
+/// match-action tables and [`RegisterFile`], and all notion of time comes
+/// from the contexts.
+pub trait DataPlaneProgram: Send {
+    /// Parse + ingress control: decide the egress port and optionally
+    /// rewrite the packet. Called once per packet on arrival.
+    fn ingress(&mut self, frame: &mut Frame, ctx: &IngressCtx) -> IngressVerdict;
+
+    /// Observation hook fired right after the packet joins an egress queue.
+    /// Default: no-op.
+    fn on_enqueue(&mut self, frame: &Frame, ctx: &EnqueueCtx) {
+        let _ = (frame, ctx);
+    }
+
+    /// Egress control: last chance to rewrite the packet before it is
+    /// serialized onto the wire. Default: no-op.
+    fn egress(&mut self, frame: &mut Frame, ctx: &EgressCtx) {
+        let _ = (frame, ctx);
+    }
+
+    /// Control-plane entry point: install a /32 route toward a host. The
+    /// simulator's control plane calls this for every (switch, host) pair
+    /// after computing shortest paths — the p4runtime table-write step.
+    fn install_host_route(&mut self, host: Ipv4Addr, port: PortId);
+
+    /// Control-plane read access to the program's registers.
+    fn registers(&self) -> &RegisterFile;
+
+    /// Control-plane write access to the program's registers.
+    fn registers_mut(&mut self) -> &mut RegisterFile;
+}

@@ -1,0 +1,377 @@
+//! The paper's INT telemetry program (§III-A, Fig. 2).
+//!
+//! On **regular packets** the switch only observes: every enqueue folds the
+//! egress-queue depth into the `max_qlen` register of that port. Nothing is
+//! added to production packets — this is the paper's key overhead-avoidance
+//! design.
+//!
+//! On **probe packets** (UDP to the Geneve port with the telemetry shim):
+//!
+//! * *ingress* (before enqueue): read the upstream egress timestamp from the
+//!   probe payload and record `link_latency = now − upstream_ts` in packet
+//!   metadata. Doing this pre-queue excludes this switch's queuing delay
+//!   from the link measurement.
+//! * *egress* (head of queue, about to serialize): harvest-and-reset the
+//!   `max_qlen` register of the egress port, append an [`IntRecord`] with
+//!   the harvested value, the measured upstream link latency, and this
+//!   switch's egress timestamp, then re-deparse the packet (lengths and
+//!   checksums updated).
+
+use crate::frame::Frame;
+use crate::pipeline::{
+    DataPlaneProgram, EgressCtx, EnqueueCtx, IngressCtx, IngressVerdict, PortId,
+};
+use crate::programs::decrement_ttl;
+use crate::programs::l3fwd::L3ForwardProgram;
+use crate::registers::RegisterFile;
+use bytes::BytesMut;
+use int_packet::int::IntRecord;
+use int_packet::ipv4::Ipv4Header;
+use int_packet::udp::UdpHeader;
+use int_packet::wire::{internet_checksum, WireEncode};
+use int_packet::EthernetHeader;
+use std::net::Ipv4Addr;
+
+/// Configuration for the INT program.
+#[derive(Debug, Clone, Copy)]
+pub struct IntProgramConfig {
+    /// Switch identity stamped into INT records.
+    pub switch_id: u32,
+    /// Number of ports (sizes the register arrays).
+    pub num_ports: usize,
+    /// If false, the program behaves exactly like plain L3 forwarding
+    /// (probes are forwarded but not augmented) — used for baseline runs.
+    pub int_enabled: bool,
+}
+
+/// The INT telemetry data-plane program.
+pub struct IntTelemetryProgram {
+    cfg: IntProgramConfig,
+    l3: L3ForwardProgram,
+    registers: RegisterFile,
+}
+
+impl IntTelemetryProgram {
+    /// Register array: max egress-queue depth per port since last harvest.
+    pub const REG_MAX_QLEN: &'static str = "max_qlen";
+    /// Register array: probes forwarded per egress port (diagnostics).
+    pub const REG_PROBE_COUNT: &'static str = "probe_count";
+    /// Register array: total packets enqueued per egress port (diagnostics).
+    pub const REG_ENQ_COUNT: &'static str = "enq_count";
+
+    /// Build the program for a switch.
+    pub fn new(cfg: IntProgramConfig) -> Self {
+        let mut registers = RegisterFile::new();
+        registers.declare(Self::REG_MAX_QLEN, cfg.num_ports);
+        registers.declare(Self::REG_PROBE_COUNT, cfg.num_ports);
+        registers.declare(Self::REG_ENQ_COUNT, cfg.num_ports);
+        IntTelemetryProgram { cfg, l3: L3ForwardProgram::new(cfg.num_ports), registers }
+    }
+
+    /// Control plane: route `prefix/len` out of `port`.
+    pub fn install_route(&mut self, prefix: Ipv4Addr, prefix_len: u16, port: PortId) {
+        self.l3.install_route(prefix, prefix_len, port);
+    }
+
+    /// Control plane: route a single host address out of `port`.
+    pub fn install_host_route(&mut self, host: Ipv4Addr, port: PortId) {
+        self.l3.install_host_route(host, port);
+    }
+
+    /// Look up the egress port for a destination without side effects.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<PortId> {
+        self.l3.lookup(dst)
+    }
+
+    /// Switch identity.
+    pub fn switch_id(&self) -> u32 {
+        self.cfg.switch_id
+    }
+
+    /// Append an INT record to a probe frame and re-deparse it in place.
+    fn augment_probe(&mut self, frame: &mut Frame, ctx: &EgressCtx) {
+        let Ok(parsed) = frame.parse() else { return };
+        let Ok(mut probe) = parsed.probe_payload(&frame.bytes) else { return };
+
+        let max_qlen =
+            self.registers.array_mut(Self::REG_MAX_QLEN).take(ctx.egress_port as usize);
+
+        probe.int.push(IntRecord {
+            switch_id: self.cfg.switch_id,
+            ingress_port: frame.meta.ingress_port.unwrap_or(u16::MAX),
+            egress_port: ctx.egress_port,
+            max_qlen_pkts: max_qlen.min(u32::MAX as u64) as u32,
+            qlen_at_probe_pkts: ctx.qdepth_at_deq_pkts,
+            link_latency_ns: frame.meta.measured_link_latency_ns.unwrap_or(0),
+            egress_ts_ns: ctx.now_ns,
+        });
+
+        let cnt = self.registers.array(Self::REG_PROBE_COUNT).read(ctx.egress_port as usize);
+        self.registers
+            .array_mut(Self::REG_PROBE_COUNT)
+            .write(ctx.egress_port as usize, cnt + 1);
+
+        // Re-deparse: same Ethernet + IP addressing/TTL/id, new payload.
+        let (Some(ip), Some(udp)) = (parsed.ip, parsed.udp()) else { return };
+        let payload = probe.to_bytes();
+        frame.bytes = redeparse_udp(&parsed.eth, &ip, &udp, &payload);
+    }
+}
+
+/// Rebuild `eth/ip/udp/payload` preserving addressing, TTL, and IP id while
+/// recomputing all length and checksum fields — what a P4 deparser does
+/// after headers or payload were modified.
+fn redeparse_udp(
+    eth: &EthernetHeader,
+    ip: &Ipv4Header,
+    udp: &UdpHeader,
+    payload: &[u8],
+) -> BytesMut {
+    let udp_new = UdpHeader::new(udp.src_port, udp.dst_port, payload.len());
+    let mut ip_new = *ip;
+    ip_new.total_len = (Ipv4Header::LEN + UdpHeader::LEN + payload.len()) as u16;
+
+    let mut buf = BytesMut::with_capacity(
+        EthernetHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN + payload.len(),
+    );
+    eth.encode(&mut buf);
+    ip_new.encode(&mut buf);
+    udp_new.encode(&mut buf);
+    buf.extend_from_slice(payload);
+    debug_assert_eq!(
+        internet_checksum(&buf[EthernetHeader::LEN..EthernetHeader::LEN + Ipv4Header::LEN]),
+        0,
+        "re-deparsed IP checksum must verify"
+    );
+    buf
+}
+
+impl DataPlaneProgram for IntTelemetryProgram {
+    fn ingress(&mut self, frame: &mut Frame, ctx: &IngressCtx) -> IngressVerdict {
+        let Ok(parsed) = frame.parse() else {
+            return IngressVerdict::Drop;
+        };
+        let Some(ip) = parsed.ip else {
+            return IngressVerdict::Drop;
+        };
+
+        frame.meta.ingress_port = Some(ctx.ingress_port);
+
+        // Probe packets: measure upstream link latency *before* queuing.
+        if self.cfg.int_enabled && parsed.is_int_probe(&frame.bytes) {
+            if let Ok(probe) = parsed.probe_payload(&frame.bytes) {
+                let upstream = probe.upstream_egress_ts_ns();
+                frame.meta.measured_link_latency_ns = Some(ctx.now_ns.saturating_sub(upstream));
+            }
+        }
+
+        let Some(port) = self.l3.lookup(ip.dst) else {
+            return IngressVerdict::Drop;
+        };
+        if !decrement_ttl(frame) {
+            return IngressVerdict::Drop;
+        }
+        IngressVerdict::Forward(port)
+    }
+
+    fn on_enqueue(&mut self, _frame: &Frame, ctx: &EnqueueCtx) {
+        if !self.cfg.int_enabled {
+            return;
+        }
+        let idx = ctx.port as usize;
+        self.registers
+            .array_mut(Self::REG_MAX_QLEN)
+            .write_max(idx, ctx.qdepth_after_pkts as u64);
+        let cnt = self.registers.array(Self::REG_ENQ_COUNT).read(idx);
+        self.registers.array_mut(Self::REG_ENQ_COUNT).write(idx, cnt + 1);
+    }
+
+    fn egress(&mut self, frame: &mut Frame, ctx: &EgressCtx) {
+        if !self.cfg.int_enabled {
+            return;
+        }
+        let is_probe = match frame.parse() {
+            Ok(p) => p.is_int_probe(&frame.bytes),
+            Err(_) => false,
+        };
+        if is_probe {
+            self.augment_probe(frame, ctx);
+        }
+    }
+
+    fn install_host_route(&mut self, host: Ipv4Addr, port: PortId) {
+        self.l3.install_route(host, 32, port);
+    }
+
+    fn registers(&self) -> &RegisterFile {
+        &self.registers
+    }
+
+    fn registers_mut(&mut self) -> &mut RegisterFile {
+        &mut self.registers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use int_packet::{PacketBuilder, ParsedPacket, ProbePayload, PROBE_UDP_PORT};
+
+    fn probe_frame(origin: u32, sent_ts: u64) -> Frame {
+        let probe = ProbePayload::new(origin, 1, sent_ts);
+        let b = PacketBuilder::between(
+            origin,
+            Ipv4Addr::new(10, 0, 0, 1),
+            6,
+            Ipv4Addr::new(10, 0, 0, 6),
+        )
+        .udp_msg(40000, PROBE_UDP_PORT, &probe);
+        Frame::new(b)
+    }
+
+    fn data_frame() -> Frame {
+        let b = PacketBuilder::between(1, Ipv4Addr::new(10, 0, 0, 1), 6, Ipv4Addr::new(10, 0, 0, 6))
+            .udp(5001, 5001, &[0u8; 1000]);
+        Frame::new(b)
+    }
+
+    fn program(int_enabled: bool) -> IntTelemetryProgram {
+        let mut p = IntTelemetryProgram::new(IntProgramConfig {
+            switch_id: 42,
+            num_ports: 4,
+            int_enabled,
+        });
+        p.install_host_route(Ipv4Addr::new(10, 0, 0, 6), 2);
+        p
+    }
+
+    fn run_through(p: &mut IntTelemetryProgram, frame: &mut Frame, now: u64, qdepth: u32) {
+        let v = p.ingress(frame, &IngressCtx { now_ns: now, switch_id: 42, ingress_port: 0 });
+        let IngressVerdict::Forward(port) = v else { panic!("expected forward, got {v:?}") };
+        p.on_enqueue(frame, &EnqueueCtx { now_ns: now, port, qdepth_after_pkts: qdepth });
+        p.egress(
+            frame,
+            &EgressCtx {
+                now_ns: now + 1_000,
+                switch_id: 42,
+                egress_port: port,
+                qdepth_at_deq_pkts: qdepth.saturating_sub(1),
+            },
+        );
+    }
+
+    #[test]
+    fn regular_packets_are_untouched_but_observed() {
+        let mut p = program(true);
+        let mut f = data_frame();
+        let original_len = f.wire_len();
+        run_through(&mut p, &mut f, 1_000_000, 7);
+        assert_eq!(f.wire_len(), original_len, "no INT padding on production traffic");
+        assert_eq!(p.registers().array(IntTelemetryProgram::REG_MAX_QLEN).read(2), 7);
+    }
+
+    #[test]
+    fn probe_harvests_and_resets_register() {
+        let mut p = program(true);
+
+        // Two data packets build up the register.
+        let mut d1 = data_frame();
+        run_through(&mut p, &mut d1, 1_000, 5);
+        let mut d2 = data_frame();
+        run_through(&mut p, &mut d2, 2_000, 12);
+
+        // Probe sent at ts=0, arrives at ingress at now=10_000_000.
+        let mut probe = probe_frame(3, 0);
+        run_through(&mut p, &mut probe, 10_000_000, 13);
+
+        let parsed = ParsedPacket::parse(&probe.bytes).unwrap();
+        let payload = parsed.probe_payload(&probe.bytes).unwrap();
+        assert_eq!(payload.int.hop_count(), 1);
+        let rec = payload.int.records[0];
+        assert_eq!(rec.switch_id, 42);
+        // max over {5, 12, 13(the probe itself)} = 13
+        assert_eq!(rec.max_qlen_pkts, 13);
+        assert_eq!(rec.link_latency_ns, 10_000_000, "now - origin sent_ts");
+        assert_eq!(rec.egress_ts_ns, 10_001_000);
+
+        // Register was reset by the harvest.
+        assert_eq!(p.registers().array(IntTelemetryProgram::REG_MAX_QLEN).read(2), 0);
+    }
+
+    #[test]
+    fn second_switch_chains_link_latency_from_first() {
+        let mut s1 = program(true);
+        let mut s2 = IntTelemetryProgram::new(IntProgramConfig {
+            switch_id: 43,
+            num_ports: 4,
+            int_enabled: true,
+        });
+        s2.install_host_route(Ipv4Addr::new(10, 0, 0, 6), 1);
+
+        let mut probe = probe_frame(3, 0);
+        run_through(&mut s1, &mut probe, 10_000_000, 1);
+        probe.meta.clear_per_hop(); // leaving switch 1
+
+        // Arrives at s2 after a 10 ms link.
+        let egress_s1 = 10_001_000;
+        let arrive_s2 = egress_s1 + 10_000_000;
+        let v = s2.ingress(
+            &mut probe,
+            &IngressCtx { now_ns: arrive_s2, switch_id: 43, ingress_port: 3 },
+        );
+        let IngressVerdict::Forward(port) = v else { panic!() };
+        s2.on_enqueue(&probe, &EnqueueCtx { now_ns: arrive_s2, port, qdepth_after_pkts: 1 });
+        s2.egress(
+            &mut probe,
+            &EgressCtx {
+                now_ns: arrive_s2 + 500,
+                switch_id: 43,
+                egress_port: port,
+                qdepth_at_deq_pkts: 0,
+            },
+        );
+
+        let parsed = ParsedPacket::parse(&probe.bytes).unwrap();
+        let payload = parsed.probe_payload(&probe.bytes).unwrap();
+        assert_eq!(payload.int.hop_count(), 2);
+        let rec2 = payload.int.records[1];
+        assert_eq!(rec2.switch_id, 43);
+        assert_eq!(rec2.link_latency_ns, 10_000_000, "s1→s2 link latency measured exactly");
+        assert_eq!(rec2.ingress_port, 3);
+        let adj: Vec<_> = payload.int.adjacencies().collect();
+        assert_eq!(adj, vec![(42, 43)]);
+    }
+
+    #[test]
+    fn int_disabled_forwards_probes_unaugmented() {
+        let mut p = program(false);
+        let mut probe = probe_frame(3, 0);
+        let before_len = probe.wire_len();
+        run_through(&mut p, &mut probe, 5_000_000, 9);
+        assert_eq!(probe.wire_len(), before_len);
+        let parsed = ParsedPacket::parse(&probe.bytes).unwrap();
+        assert_eq!(parsed.probe_payload(&probe.bytes).unwrap().int.hop_count(), 0);
+        assert_eq!(p.registers().array(IntTelemetryProgram::REG_MAX_QLEN).read(2), 0);
+    }
+
+    #[test]
+    fn redeparsed_probe_has_valid_lengths() {
+        let mut p = program(true);
+        let mut probe = probe_frame(3, 0);
+        run_through(&mut p, &mut probe, 1_000, 1);
+        let parsed = ParsedPacket::parse(&probe.bytes).unwrap();
+        let udp = parsed.udp().unwrap();
+        assert_eq!(udp.payload_len(), parsed.payload(&probe.bytes).len());
+        let ip = parsed.ip.unwrap();
+        assert_eq!(ip.total_len as usize, probe.bytes.len() - EthernetHeader::LEN);
+    }
+
+    #[test]
+    fn probe_grows_by_exactly_one_record_per_switch() {
+        let mut p = program(true);
+        let mut probe = probe_frame(3, 0);
+        let len0 = probe.wire_len();
+        run_through(&mut p, &mut probe, 1_000, 1);
+        assert_eq!(probe.wire_len(), len0 + IntRecord::LEN);
+    }
+}

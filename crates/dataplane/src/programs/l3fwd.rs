@@ -1,0 +1,175 @@
+//! Plain IPv4 longest-prefix-match forwarding.
+//!
+//! This is the program a conventional (non-INT) switch runs, and the base
+//! forwarding behaviour the INT program builds on: parse, LPM on the
+//! destination address, decrement TTL, emit on the matched port.
+
+use crate::frame::Frame;
+use crate::pipeline::{DataPlaneProgram, IngressCtx, IngressVerdict, PortId};
+use crate::programs::decrement_ttl;
+use crate::registers::RegisterFile;
+use crate::table::{Key, MatchActionTable, MatchKind};
+use std::net::Ipv4Addr;
+
+/// IPv4 LPM forwarding program.
+pub struct L3ForwardProgram {
+    fwd: MatchActionTable<PortId>,
+    registers: RegisterFile,
+}
+
+impl L3ForwardProgram {
+    /// New program with an empty forwarding table; unmatched packets drop.
+    pub fn new(num_ports: usize) -> Self {
+        let mut registers = RegisterFile::new();
+        registers.declare("pkt_count", num_ports);
+        L3ForwardProgram { fwd: MatchActionTable::new("ipv4_lpm", MatchKind::Lpm), registers }
+    }
+
+    /// Control plane: route `prefix/len` out of `port`.
+    pub fn install_route(&mut self, prefix: Ipv4Addr, prefix_len: u16, port: PortId) {
+        self.fwd
+            .insert(Key::Lpm { value: prefix.octets().to_vec(), prefix_len }, port);
+    }
+
+    /// Control plane: route a single host address out of `port`.
+    pub fn install_host_route(&mut self, host: Ipv4Addr, port: PortId) {
+        self.install_route(host, 32, port);
+    }
+
+    /// Number of installed routes.
+    pub fn route_count(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Look up the egress port for a destination without side effects.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<PortId> {
+        self.fwd.lookup(&dst.octets()).copied()
+    }
+}
+
+impl DataPlaneProgram for L3ForwardProgram {
+    fn ingress(&mut self, frame: &mut Frame, ctx: &IngressCtx) -> IngressVerdict {
+        let Ok(parsed) = frame.parse() else {
+            return IngressVerdict::Drop;
+        };
+        let Some(ip) = parsed.ip else {
+            return IngressVerdict::Drop; // non-IP traffic is not forwarded
+        };
+        let Some(&port) = self.fwd.lookup(&ip.dst.octets()) else {
+            return IngressVerdict::Drop;
+        };
+        if !decrement_ttl(frame) {
+            return IngressVerdict::Drop;
+        }
+        self.registers.array_mut("pkt_count").increment(ctx.ingress_port as usize);
+        IngressVerdict::Forward(port)
+    }
+
+    fn install_host_route(&mut self, host: Ipv4Addr, port: PortId) {
+        self.install_route(host, 32, port);
+    }
+
+    fn registers(&self) -> &RegisterFile {
+        &self.registers
+    }
+
+    fn registers_mut(&mut self) -> &mut RegisterFile {
+        &mut self.registers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use int_packet::PacketBuilder;
+
+    fn udp_frame(dst: Ipv4Addr) -> Frame {
+        Frame::new(PacketBuilder::between(1, Ipv4Addr::new(10, 0, 0, 1), 2, dst).udp(1, 2, b"x"))
+    }
+
+    fn ctx() -> IngressCtx {
+        IngressCtx { now_ns: 0, switch_id: 1, ingress_port: 0 }
+    }
+
+    #[test]
+    fn routes_by_longest_prefix() {
+        let mut p = L3ForwardProgram::new(4);
+        p.install_route(Ipv4Addr::new(10, 0, 0, 0), 24, 1);
+        p.install_host_route(Ipv4Addr::new(10, 0, 0, 7), 2);
+
+        let mut f = udp_frame(Ipv4Addr::new(10, 0, 0, 7));
+        assert_eq!(p.ingress(&mut f, &ctx()), IngressVerdict::Forward(2));
+
+        let mut f = udp_frame(Ipv4Addr::new(10, 0, 0, 9));
+        assert_eq!(p.ingress(&mut f, &ctx()), IngressVerdict::Forward(1));
+    }
+
+    #[test]
+    fn unrouted_destination_drops() {
+        let mut p = L3ForwardProgram::new(4);
+        let mut f = udp_frame(Ipv4Addr::new(192, 168, 0, 1));
+        assert_eq!(p.ingress(&mut f, &ctx()), IngressVerdict::Drop);
+    }
+
+    #[test]
+    fn forwarding_decrements_ttl() {
+        let mut p = L3ForwardProgram::new(4);
+        p.install_host_route(Ipv4Addr::new(10, 0, 0, 2), 1);
+        let mut f = udp_frame(Ipv4Addr::new(10, 0, 0, 2));
+        let before = f.parse().unwrap().ip.unwrap().ttl;
+        p.ingress(&mut f, &ctx());
+        let after = f.parse().unwrap().ip.unwrap().ttl;
+        assert_eq!(after, before - 1);
+    }
+
+    #[test]
+    fn pkt_count_register_increments() {
+        let mut p = L3ForwardProgram::new(4);
+        p.install_host_route(Ipv4Addr::new(10, 0, 0, 2), 1);
+        for _ in 0..3 {
+            let mut f = udp_frame(Ipv4Addr::new(10, 0, 0, 2));
+            p.ingress(&mut f, &ctx());
+        }
+        assert_eq!(p.registers().array("pkt_count").read(0), 3);
+    }
+
+    #[test]
+    fn garbage_frame_drops() {
+        let mut p = L3ForwardProgram::new(1);
+        let mut f = Frame::new(bytes::BytesMut::from(&[0u8; 10][..]));
+        assert_eq!(p.ingress(&mut f, &ctx()), IngressVerdict::Drop);
+    }
+}
+
+#[cfg(test)]
+mod ttl_tests {
+    use super::*;
+    use int_packet::wire::internet_checksum;
+    use int_packet::{EthernetHeader, Ipv4Header, PacketBuilder};
+
+    /// A packet looping long enough to exhaust its TTL is dropped, never
+    /// forwarded forever.
+    #[test]
+    fn ttl_exhaustion_drops() {
+        let mut p = L3ForwardProgram::new(2);
+        p.install_host_route(Ipv4Addr::new(10, 0, 0, 2), 1);
+
+        let b = PacketBuilder::between(1, Ipv4Addr::new(10, 0, 0, 1), 2, Ipv4Addr::new(10, 0, 0, 2));
+        let mut f = Frame::new(b.udp(1, 2, b"x"));
+        let ctx = IngressCtx { now_ns: 0, switch_id: 1, ingress_port: 0 };
+
+        let mut forwards = 0;
+        loop {
+            match p.ingress(&mut f, &ctx) {
+                IngressVerdict::Forward(_) => forwards += 1,
+                IngressVerdict::Drop => break,
+            }
+            assert!(forwards < 256, "runaway forwarding");
+        }
+        // Default TTL 64: 63 hops succeed, the 64th hop sees TTL 1 → drop.
+        assert_eq!(forwards, Ipv4Header::DEFAULT_TTL as u32 - 1);
+        // The frame still carries a valid checksum after all the rewrites.
+        let ip_off = EthernetHeader::LEN;
+        assert_eq!(internet_checksum(&f.bytes[ip_off..ip_off + Ipv4Header::LEN]), 0);
+    }
+}

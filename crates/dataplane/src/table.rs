@@ -1,0 +1,275 @@
+//! Match-action tables — the P4 `table { key; actions; }` construct.
+//!
+//! A table is declared with a [`MatchKind`] and holds entries installed by
+//! the control plane. Lookup takes the packet's key bytes and returns the
+//! bound action data (generic `A`), falling back to the default action.
+//!
+//! Three match kinds are supported, mirroring `p4runtime`:
+//! * **exact** — byte-for-byte equality,
+//! * **lpm** — longest-prefix match on a big-endian key (IPv4 forwarding),
+//! * **ternary** — value/mask with an explicit priority.
+
+use serde::{Deserialize, Serialize};
+
+/// How a table matches its key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// Exact equality on the full key.
+    Exact,
+    /// Longest-prefix match.
+    Lpm,
+    /// Value/mask match with priority.
+    Ternary,
+}
+
+/// One installed key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Key {
+    /// Exact key bytes.
+    Exact(Vec<u8>),
+    /// LPM: value plus prefix length in bits.
+    Lpm {
+        /// Key value (only the first `prefix_len` bits are significant).
+        value: Vec<u8>,
+        /// Number of leading significant bits.
+        prefix_len: u16,
+    },
+    /// Ternary: value, bit mask, and match priority (higher wins).
+    Ternary {
+        /// Key value.
+        value: Vec<u8>,
+        /// Significant-bit mask (same length as `value`).
+        mask: Vec<u8>,
+        /// Priority among overlapping entries; higher wins.
+        priority: i32,
+    },
+}
+
+impl Key {
+    fn kind(&self) -> MatchKind {
+        match self {
+            Key::Exact(_) => MatchKind::Exact,
+            Key::Lpm { .. } => MatchKind::Lpm,
+            Key::Ternary { .. } => MatchKind::Ternary,
+        }
+    }
+
+    /// Does this key match `bytes`?
+    fn matches(&self, bytes: &[u8]) -> bool {
+        match self {
+            Key::Exact(v) => v == bytes,
+            Key::Lpm { value, prefix_len } => {
+                if value.len() != bytes.len() {
+                    return false;
+                }
+                prefix_matches(value, bytes, *prefix_len)
+            }
+            Key::Ternary { value, mask, .. } => {
+                if value.len() != bytes.len() || mask.len() != bytes.len() {
+                    return false;
+                }
+                value
+                    .iter()
+                    .zip(mask)
+                    .zip(bytes)
+                    .all(|((v, m), b)| (v & m) == (b & m))
+            }
+        }
+    }
+
+    /// Specificity used to pick the winner among matches: prefix length for
+    /// LPM, priority for ternary, `i64::MAX` for exact.
+    fn specificity(&self) -> i64 {
+        match self {
+            Key::Exact(_) => i64::MAX,
+            Key::Lpm { prefix_len, .. } => *prefix_len as i64,
+            Key::Ternary { priority, .. } => *priority as i64,
+        }
+    }
+}
+
+fn prefix_matches(value: &[u8], bytes: &[u8], prefix_len: u16) -> bool {
+    let full = (prefix_len / 8) as usize;
+    let rem = (prefix_len % 8) as u32;
+    if full > value.len() {
+        return false;
+    }
+    if value[..full] != bytes[..full] {
+        return false;
+    }
+    if rem == 0 || full >= value.len() {
+        return true;
+    }
+    let mask = !(0xFFu8 >> rem);
+    (value[full] & mask) == (bytes[full] & mask)
+}
+
+/// A match-action table with entries bound to action data `A`.
+#[derive(Debug, Clone)]
+pub struct MatchActionTable<A> {
+    name: &'static str,
+    kind: MatchKind,
+    entries: Vec<(Key, A)>,
+    default_action: Option<A>,
+}
+
+impl<A: Clone> MatchActionTable<A> {
+    /// Declare an empty table.
+    pub fn new(name: &'static str, kind: MatchKind) -> Self {
+        MatchActionTable { name, kind, entries: Vec::new(), default_action: None }
+    }
+
+    /// Table name (diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Set the action used when no entry matches.
+    pub fn set_default(&mut self, action: A) {
+        self.default_action = Some(action);
+    }
+
+    /// Install an entry. Panics if the key kind does not match the table's
+    /// declared kind — that is a control-plane programming error, the same
+    /// class of failure p4runtime rejects at insert time.
+    pub fn insert(&mut self, key: Key, action: A) {
+        assert_eq!(
+            key.kind(),
+            self.kind,
+            "key kind mismatch inserting into table `{}`",
+            self.name
+        );
+        // Replace an identical key in place (p4runtime MODIFY semantics).
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = action;
+            return;
+        }
+        self.entries.push((key, action));
+        // Keep most-specific-first so lookup can take the first match.
+        self.entries.sort_by_key(|(k, _)| std::cmp::Reverse(k.specificity()));
+    }
+
+    /// Remove an entry by exact key equality; returns true if removed.
+    pub fn remove(&mut self, key: &Key) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(k, _)| k != key);
+        before != self.entries.len()
+    }
+
+    /// Look up the action for `key_bytes`: most specific matching entry, or
+    /// the default action.
+    pub fn lookup(&self, key_bytes: &[u8]) -> Option<&A> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.matches(key_bytes))
+            .map(|(_, a)| a)
+            .or(self.default_action.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        let mut t = MatchActionTable::new("t", MatchKind::Exact);
+        t.insert(Key::Exact(vec![10, 0, 0, 1]), "to-h1");
+        t.insert(Key::Exact(vec![10, 0, 0, 2]), "to-h2");
+        assert_eq!(t.lookup(&[10, 0, 0, 2]), Some(&"to-h2"));
+        assert_eq!(t.lookup(&[10, 0, 0, 3]), None);
+    }
+
+    #[test]
+    fn lpm_longest_prefix_wins() {
+        let mut t = MatchActionTable::new("fwd", MatchKind::Lpm);
+        t.insert(Key::Lpm { value: vec![10, 0, 0, 0], prefix_len: 8 }, 1u16);
+        t.insert(Key::Lpm { value: vec![10, 1, 0, 0], prefix_len: 16 }, 2u16);
+        t.insert(Key::Lpm { value: vec![10, 1, 2, 0], prefix_len: 24 }, 3u16);
+        assert_eq!(t.lookup(&[10, 9, 9, 9]), Some(&1));
+        assert_eq!(t.lookup(&[10, 1, 9, 9]), Some(&2));
+        assert_eq!(t.lookup(&[10, 1, 2, 9]), Some(&3));
+        assert_eq!(t.lookup(&[11, 0, 0, 1]), None);
+    }
+
+    #[test]
+    fn lpm_non_byte_aligned_prefix() {
+        let mut t = MatchActionTable::new("fwd", MatchKind::Lpm);
+        // 10.0.0.0/12 covers 10.0.x.x – 10.15.x.x
+        t.insert(Key::Lpm { value: vec![10, 0, 0, 0], prefix_len: 12 }, ());
+        assert!(t.lookup(&[10, 15, 0, 1]).is_some());
+        assert!(t.lookup(&[10, 16, 0, 1]).is_none());
+    }
+
+    #[test]
+    fn lpm_zero_prefix_is_catch_all() {
+        let mut t = MatchActionTable::new("fwd", MatchKind::Lpm);
+        t.insert(Key::Lpm { value: vec![0, 0, 0, 0], prefix_len: 0 }, "default-route");
+        assert_eq!(t.lookup(&[192, 168, 1, 1]), Some(&"default-route"));
+    }
+
+    #[test]
+    fn ternary_priority_breaks_overlap() {
+        let mut t = MatchActionTable::new("acl", MatchKind::Ternary);
+        t.insert(
+            Key::Ternary { value: vec![10, 0, 0, 0], mask: vec![255, 0, 0, 0], priority: 1 },
+            "allow",
+        );
+        t.insert(
+            Key::Ternary { value: vec![10, 0, 0, 99], mask: vec![255, 255, 255, 255], priority: 9 },
+            "deny",
+        );
+        assert_eq!(t.lookup(&[10, 0, 0, 99]), Some(&"deny"));
+        assert_eq!(t.lookup(&[10, 0, 0, 98]), Some(&"allow"));
+    }
+
+    #[test]
+    fn default_action_fires_when_nothing_matches() {
+        let mut t = MatchActionTable::new("t", MatchKind::Exact);
+        t.set_default("drop");
+        assert_eq!(t.lookup(&[1]), Some(&"drop"));
+    }
+
+    #[test]
+    fn reinsert_same_key_modifies() {
+        let mut t = MatchActionTable::new("t", MatchKind::Exact);
+        t.insert(Key::Exact(vec![1]), 1);
+        t.insert(Key::Exact(vec![1]), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(&[1]), Some(&2));
+    }
+
+    #[test]
+    fn remove_entry() {
+        let mut t = MatchActionTable::new("t", MatchKind::Exact);
+        let k = Key::Exact(vec![1]);
+        t.insert(k.clone(), 1);
+        assert!(t.remove(&k));
+        assert!(!t.remove(&k));
+        assert!(t.lookup(&[1]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "key kind mismatch")]
+    fn wrong_kind_insert_panics() {
+        let mut t = MatchActionTable::<u8>::new("t", MatchKind::Exact);
+        t.insert(Key::Lpm { value: vec![1], prefix_len: 8 }, 0);
+    }
+
+    #[test]
+    fn length_mismatch_never_matches() {
+        let mut t = MatchActionTable::new("t", MatchKind::Lpm);
+        t.insert(Key::Lpm { value: vec![10, 0, 0, 0], prefix_len: 8 }, ());
+        assert!(t.lookup(&[10, 0]).is_none());
+    }
+}

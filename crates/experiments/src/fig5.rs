@@ -1,0 +1,25 @@
+//! Fig. 5: serverless workload (one task per job), delay-based ranking.
+//! Reports average task completion time per Table I class for the
+//! network-aware scheduler vs Nearest and Random, plus the gain.
+//! Paper result: 17–31 % gain over Nearest, largest for very small tasks.
+
+use crate::compare::{run_comparison_seeds, CompareConfig, Metric, MultiCompareOutput};
+use int_core::Policy;
+use int_workload::JobKind;
+
+/// Run the Fig. 5 experiment, pooled over `seeds`.
+pub fn run_seeds(seeds: &[u64], total_tasks: usize) -> MultiCompareOutput {
+    let mut cfg = CompareConfig::paper_default(seeds[0], JobKind::Serverless, Policy::IntDelay);
+    cfg.total_tasks = total_tasks;
+    run_comparison_seeds(&cfg, seeds)
+}
+
+/// Single-seed convenience wrapper.
+pub fn run(seed: u64, total_tasks: usize) -> MultiCompareOutput {
+    run_seeds(&[seed], total_tasks)
+}
+
+/// Render the per-class completion table.
+pub fn render(out: &MultiCompareOutput) -> String {
+    out.render(Metric::Completion)
+}

@@ -1,0 +1,28 @@
+//! Fig. 7: distributed workload, bandwidth-based ranking. Reports average
+//! data transfer time per class (the paper's headline 28–40 % reduction)
+//! and, as the paper notes in passing, completion time (22–35 %).
+
+use crate::compare::{run_comparison_seeds, CompareConfig, Metric, MultiCompareOutput};
+use int_core::Policy;
+use int_workload::JobKind;
+
+/// Run the Fig. 7 experiment, pooled over `seeds`.
+pub fn run_seeds(seeds: &[u64], total_tasks: usize) -> MultiCompareOutput {
+    let mut cfg = CompareConfig::paper_default(seeds[0], JobKind::Distributed, Policy::IntBandwidth);
+    cfg.total_tasks = total_tasks;
+    run_comparison_seeds(&cfg, seeds)
+}
+
+/// Single-seed convenience wrapper.
+pub fn run(seed: u64, total_tasks: usize) -> MultiCompareOutput {
+    run_seeds(&[seed], total_tasks)
+}
+
+/// Render both tables: transfer (the figure) and completion (the text).
+pub fn render(out: &MultiCompareOutput) -> String {
+    format!(
+        "Transfer times:\n{}\nCompletion times:\n{}",
+        out.render(Metric::Transfer),
+        out.render(Metric::Completion)
+    )
+}

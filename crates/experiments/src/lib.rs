@@ -1,0 +1,39 @@
+//! # int-experiments
+//!
+//! The harness that regenerates every table and figure in the paper's
+//! evaluation (§IV), plus the ablations DESIGN.md calls out.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`tab1`] | Table I — workload classes |
+//! | [`fig3`] | Fig. 3 — max queue length & RTT vs utilization |
+//! | [`fig5`] | Fig. 5 — serverless workload, delay ranking |
+//! | [`fig6`] | Fig. 6 — distributed workload, delay ranking |
+//! | [`fig7`] | Fig. 7 — distributed workload, bandwidth ranking |
+//! | [`fig8`] | Fig. 8 — ECDF of per-task gain |
+//! | [`fig9`] | Fig. 9 — probing-interval sensitivity |
+//! | [`ablation`] | max-vs-instantaneous queue signal, k sweep, compute-aware |
+//! | [`overhead`] | probing overhead vs per-packet INT padding (§III-A) |
+//!
+//! Shared infrastructure: [`testbed`] (the Fig. 4 topology stand-in and
+//! standard app deployment), [`runner`] (one full scheduling experiment),
+//! [`stats`] (means, percentiles, ECDFs, gains), [`report`] (table
+//! rendering + JSON output).
+
+pub mod ablation;
+pub mod compare;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod overhead;
+pub mod report;
+pub mod runner;
+pub mod stats;
+pub mod tab1;
+pub mod testbed;
+
+pub use runner::{ExperimentConfig, ExperimentResult, TaskOutcome};
+pub use testbed::Testbed;

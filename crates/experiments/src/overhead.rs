@@ -1,0 +1,158 @@
+//! Probing-overhead analysis (paper §III-A).
+//!
+//! The paper's arithmetic: probes at 10/s × 1.5 KB ≈ 120 kbit/s, a
+//! negligible ~1.1 % of a 10 Mbit/s network, versus the rapidly growing
+//! cost of padding INT onto *every* packet (4.2 % of payload for two
+//! fields over five switches). This module measures both sides on the
+//! live testbed:
+//!
+//! * the actual share of wire bytes spent on probes (all-pairs mode is
+//!   deliberately chattier than the paper's scheme — quantify it), and
+//! * the hypothetical per-packet INT padding cost for the traffic that
+//!   actually flowed, per the paper's formula.
+
+use crate::report;
+use crate::runner::install_background;
+use crate::testbed::{Testbed, TestbedConfig, ProbeMode};
+use int_netsim::{SimDuration, SimTime, TrafficClass};
+use int_packet::int::IntRecord;
+use int_workload::BackgroundScenario;
+use serde::{Deserialize, Serialize};
+
+/// Overhead measured for one probing mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverheadRow {
+    /// Probing mode label.
+    pub mode: String,
+    /// Wire bytes of probe traffic.
+    pub probe_bytes: u64,
+    /// Wire bytes of everything.
+    pub total_bytes: u64,
+    /// Probe share of all wire bytes.
+    pub probe_share: f64,
+    /// Probe offered rate network-wide, bit/s.
+    pub probe_rate_bps: f64,
+    /// Hypothetical extra bytes if INT were instead padded onto every
+    /// data packet for `avg_hops` switches (paper's alternative design).
+    pub per_packet_int_bytes: u64,
+    /// That alternative's share of total traffic.
+    pub per_packet_int_share: f64,
+}
+
+/// The full report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverheadOutput {
+    /// One row per probing mode.
+    pub rows: Vec<OverheadRow>,
+    /// Measurement duration, seconds.
+    pub duration_s: f64,
+}
+
+/// Measure probing overhead on the testbed with default background load.
+pub fn run(seed: u64, duration: SimDuration) -> OverheadOutput {
+    let rows = [ProbeMode::SchedulerOnly, ProbeMode::AllPairs]
+        .into_iter()
+        .map(|mode| measure(seed, duration, mode))
+        .collect();
+    OverheadOutput { rows, duration_s: duration.as_secs_f64() }
+}
+
+fn measure(seed: u64, duration: SimDuration, mode: ProbeMode) -> OverheadRow {
+    let mut tb = Testbed::new(&TestbedConfig { seed, probe_mode: mode, ..TestbedConfig::default() });
+    tb.sim_enable_accounting();
+
+    let nodes: Vec<u32> = tb.hosts.iter().map(|h| h.0).collect();
+    let flows = BackgroundScenario::Default.generate(
+        &nodes,
+        duration.as_nanos(),
+        15_000_000,
+        seed,
+    );
+    install_background(&mut tb, &flows);
+    tb.sim.run_until(SimTime::ZERO + duration);
+
+    let acc = tb.sim.traffic();
+    let probe_bytes = acc.class(TrafficClass::Probe).bytes;
+    let total_bytes = acc.total_bytes();
+
+    // The paper's alternative: pad each non-probe packet with one INT
+    // record per switch hop. Average path ≈ 4 switches on this testbed.
+    let avg_hops = 4u64;
+    let data_pkts: u64 = [
+        TrafficClass::TaskData,
+        TrafficClass::Background,
+        TrafficClass::Control,
+        TrafficClass::Ping,
+    ]
+    .iter()
+    .map(|&c| acc.class(c).packets)
+    .sum();
+    let per_packet_int_bytes = data_pkts * avg_hops * IntRecord::LEN as u64;
+
+    OverheadRow {
+        mode: format!("{mode:?}"),
+        probe_bytes,
+        total_bytes,
+        probe_share: if total_bytes == 0 { 0.0 } else { probe_bytes as f64 / total_bytes as f64 },
+        probe_rate_bps: probe_bytes as f64 * 8.0 / duration.as_secs_f64(),
+        per_packet_int_bytes,
+        per_packet_int_share: if total_bytes == 0 {
+            0.0
+        } else {
+            per_packet_int_bytes as f64 / total_bytes as f64
+        },
+    }
+}
+
+impl Testbed {
+    /// Rebuild-free accounting enable is impossible post-construction, so
+    /// the testbed exposes this shim used only by the overhead harness.
+    fn sim_enable_accounting(&mut self) {
+        // Accounting is set via SimConfig at construction; the testbed
+        // builds with it off. Rather than plumb one more flag everywhere,
+        // rebuild the testbed config here would lose installed apps —
+        // instead the engine exposes a runtime switch.
+        self.sim.set_account_traffic(true);
+    }
+}
+
+/// Render the comparison table.
+pub fn render(out: &OverheadOutput) -> String {
+    let rows: Vec<Vec<String>> = out
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                format!("{:.1} kbit/s", r.probe_rate_bps / 1e3),
+                format!("{:.2}%", r.probe_share * 100.0),
+                format!("{:.2}%", r.per_packet_int_share * 100.0),
+            ]
+        })
+        .collect();
+    report::table(
+        &["probing mode", "probe rate", "probe share of wire bytes", "per-packet INT alternative"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_are_a_small_fraction_and_padding_would_cost_more() {
+        let out = run(1, SimDuration::from_secs(20));
+        assert_eq!(out.rows.len(), 2);
+        for r in &out.rows {
+            assert!(r.probe_bytes > 0, "{}: probes flowed", r.mode);
+            assert!(r.probe_share < 0.10, "{}: probes stay <10%: {:.3}", r.mode, r.probe_share);
+            assert!(
+                r.per_packet_int_share > r.probe_share / 20.0,
+                "padding alternative is not free"
+            );
+        }
+        // All-pairs is chattier than scheduler-only, by design.
+        assert!(out.rows[1].probe_bytes > out.rows[0].probe_bytes);
+    }
+}

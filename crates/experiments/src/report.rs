@@ -1,0 +1,112 @@
+//! Table rendering and machine-readable result output.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Render rows as an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        debug_assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            let _ = write!(out, "{:<width$}", cell, width = widths[i] + 2);
+        }
+        out.push('\n');
+    };
+    render_row(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        render_row(&mut out, row);
+    }
+    out
+}
+
+/// Format a millisecond value compactly.
+pub fn ms(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a gain fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:+.1}%", v * 100.0)
+}
+
+/// Where experiment JSON results land.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("INT_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Persist a result as pretty JSON under the results dir; returns the path.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Read back a saved result (used by EXPERIMENTS.md tooling).
+pub fn load_json<T: serde::de::DeserializeOwned>(path: &Path) -> std::io::Result<T> {
+    let data = std::fs::read_to_string(path)?;
+    serde_json::from_str(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["class", "mean"],
+            &[
+                vec!["VS".into(), "123.4".into()],
+                vec!["Large".into(), "9.0".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("class"));
+        assert!(lines[2].starts_with("VS"));
+        assert!(lines[3].starts_with("Large"));
+        // Columns align: "mean" starts at the same offset everywhere.
+        let col = lines[0].find("mean").unwrap();
+        assert_eq!(&lines[2][col..col + 5], "123.4");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(1234.56), "1234.6");
+        assert_eq!(pct(0.305), "+30.5%");
+        assert_eq!(pct(-0.05), "-5.0%");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        #[derive(Serialize, serde::Deserialize, PartialEq, Debug)]
+        struct Tiny {
+            x: u32,
+        }
+        let dir = std::env::temp_dir().join("int_exp_test_results");
+        std::env::set_var("INT_RESULTS_DIR", &dir);
+        let path = save_json("tiny", &Tiny { x: 7 }).unwrap();
+        let back: Tiny = load_json(&path).unwrap();
+        assert_eq!(back, Tiny { x: 7 });
+        std::env::remove_var("INT_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,167 @@
+//! The discrete-event core: a time-ordered queue with deterministic
+//! tie-breaking (FIFO among same-time events via a monotone sequence
+//! number), so identical seeds replay identical packet-level schedules.
+
+use crate::time::SimTime;
+use crate::topology::{NodeId, PortId};
+use int_dataplane::Frame;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Connection identifier on a host (unique per host for its lifetime).
+pub type ConnId = u64;
+
+/// Everything that can happen in the simulated world.
+#[derive(Debug)]
+pub enum Event {
+    /// A frame finished propagating and arrives at `node` on `port`.
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Receiving port on that node.
+        port: PortId,
+        /// The frame itself.
+        frame: Frame,
+    },
+    /// `node`'s `port` finished serializing its current frame; the port is
+    /// free to start on the next queued frame.
+    TxDone {
+        /// Transmitting node.
+        node: NodeId,
+        /// Transmitting port.
+        port: PortId,
+    },
+    /// An application timer fired.
+    AppTimer {
+        /// Host the app runs on.
+        node: NodeId,
+        /// Which app on that host.
+        app_idx: usize,
+        /// App-chosen timer identifier.
+        timer_id: u64,
+    },
+    /// A TCP retransmission timer fired.
+    TcpTimer {
+        /// Host owning the connection.
+        node: NodeId,
+        /// Connection.
+        conn: ConnId,
+        /// Timer generation: stale timers (generation mismatch) are ignored.
+        generation: u64,
+    },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic time-ordered event queue.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pop the earliest event (FIFO among ties).
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn timer(id: u64) -> Event {
+        Event::AppTimer { node: NodeId(0), app_idx: 0, timer_id: id }
+    }
+
+    fn timer_id(ev: &Event) -> u64 {
+        match ev {
+            Event::AppTimer { timer_id, .. } => *timer_id,
+            _ => panic!("not a timer"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), timer(3));
+        q.push(SimTime(10), timer(1));
+        q.push(SimTime(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| timer_id(&e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        for id in 0..100 {
+            q.push(t, timer(id));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| timer_id(&e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(7), timer(1));
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! # int-netsim
+//!
+//! A packet-level discrete-event network simulator — the substrate standing
+//! in for the paper's Mininet + BMv2 emulation testbed.
+//!
+//! * [`topology`] — hosts, P4 switches, links (bandwidth / propagation
+//!   delay / drop-tail queue capacity),
+//! * [`engine`] — the event loop: serialization, propagation, queuing,
+//!   data-plane program invocation at ingress / enqueue / egress,
+//! * [`routing`] — shortest-path route computation and installation,
+//! * [`tcp`] — a TCP-Reno-style reliable transport for task transfers,
+//! * [`app`] — the application framework (UDP, timers, TCP) simulated
+//!   programs run on,
+//! * [`queue`] / [`stats`] — drop-tail queues and ground-truth counters,
+//! * [`time`] / [`event`] — nanosecond simulated time and the
+//!   deterministic event queue.
+//!
+//! Determinism: all randomness flows from [`SimConfig::seed`]; equal seeds
+//! replay identical packet-level schedules, which is how the experiment
+//! harness guarantees each scheduling policy faces the *same* background
+//! traffic (paper §IV).
+
+pub mod app;
+pub mod engine;
+pub mod event;
+pub mod queue;
+pub mod routing;
+pub mod stats;
+pub mod tcp;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use app::{App, AppCtx, AppOp};
+pub use engine::{SimConfig, Simulator};
+pub use event::{ConnId, Event, EventQueue};
+pub use queue::{DropTailQueue, QueueStats};
+pub use routing::RouteTable;
+pub use stats::NetStats;
+pub use tcp::{TcpConfig, TcpEvent, TcpHost};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TrafficAccountant, TrafficClass};
+pub use topology::{LinkId, LinkParams, NodeId, NodeKind, PortId, Topology};

@@ -1,0 +1,206 @@
+//! Shortest-path routing over the topology.
+//!
+//! Routes are computed once at simulation build time with per-source
+//! Dijkstra (weight = link propagation delay, deterministic tie-break on
+//! node id) and installed into every switch's LPM table as /32 host routes
+//! — the control-plane step a real deployment performs via p4runtime.
+
+use crate::time::SimDuration;
+use crate::topology::{NodeId, PortId, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// All-pairs routing state: next hops, distances, and reconstructable paths.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    n: usize,
+    /// `dist_ns[src][dst]` — shortest-path delay, `u64::MAX` if unreachable.
+    dist_ns: Vec<Vec<u64>>,
+    /// `prev[src][dst]` — predecessor of `dst` on the shortest path from `src`.
+    prev: Vec<Vec<Option<NodeId>>>,
+}
+
+impl RouteTable {
+    /// Run Dijkstra from every node.
+    pub fn compute(topo: &Topology) -> RouteTable {
+        let n = topo.nodes.len();
+        let mut dist_ns = vec![vec![u64::MAX; n]; n];
+        let mut prev = vec![vec![None; n]; n];
+
+        for src in 0..n {
+            let (d, p) = dijkstra(topo, NodeId(src as u32));
+            dist_ns[src] = d;
+            prev[src] = p;
+        }
+        RouteTable { n, dist_ns, prev }
+    }
+
+    /// Shortest-path propagation delay between two nodes.
+    pub fn distance(&self, from: NodeId, to: NodeId) -> Option<SimDuration> {
+        let d = self.dist_ns[from.0 as usize][to.0 as usize];
+        (d != u64::MAX).then_some(SimDuration::from_nanos(d))
+    }
+
+    /// Node sequence of the shortest path, inclusive of both endpoints.
+    pub fn path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist_ns[from.0 as usize][to.0 as usize] == u64::MAX {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = self.prev[from.0 as usize][cur.0 as usize]?;
+            path.push(cur);
+            debug_assert!(path.len() <= self.n, "cycle in prev chain");
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Number of links on the shortest path (the paper's "hops": a host
+    /// pair with two switches between them is 3 hops apart).
+    pub fn hop_count(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        self.path(from, to).map(|p| p.len() - 1)
+    }
+
+    /// First hop from `from` toward `to`.
+    pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<NodeId> {
+        let p = self.path(from, to)?;
+        p.get(1).copied()
+    }
+
+    /// Egress port on `from` toward `to` (next-hop port lookup).
+    pub fn egress_port(&self, topo: &Topology, from: NodeId, to: NodeId) -> Option<PortId> {
+        let nh = self.next_hop(from, to)?;
+        topo.node(from)
+            .ports
+            .iter()
+            .position(|pb| pb.peer == nh)
+            .map(|i| i as PortId)
+    }
+}
+
+fn dijkstra(topo: &Topology, src: NodeId) -> (Vec<u64>, Vec<Option<NodeId>>) {
+    let n = topo.nodes.len();
+    let mut dist = vec![u64::MAX; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+
+    dist[src.0 as usize] = 0;
+    heap.push(Reverse((0u64, src.0)));
+
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if done[u as usize] {
+            continue;
+        }
+        done[u as usize] = true;
+        let node = topo.node(NodeId(u));
+        // Ports in creation order → deterministic relaxations; strict `<`
+        // keeps the first-found route among equal-cost alternatives.
+        for pb in &node.ports {
+            let link = topo.link(pb.link);
+            let nd = d.saturating_add(link.params.delay.as_nanos());
+            let v = pb.peer.0 as usize;
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev[v] = Some(NodeId(u));
+                heap.push(Reverse((nd, v as u32)));
+            }
+        }
+    }
+    (dist, prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkParams;
+
+    fn params(ms: u64) -> LinkParams {
+        LinkParams {
+            bandwidth_bps: 20_000_000,
+            delay: SimDuration::from_millis(ms),
+            queue_cap_pkts: 64,
+        }
+    }
+
+    /// h1 - s1 - s2 - h2, with a slow detour s1 - s3 - s2.
+    fn line_with_detour() -> (Topology, [NodeId; 5]) {
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let s3 = t.add_switch("s3");
+        let h2 = t.add_host("h2");
+        t.add_link(h1, s1, params(10));
+        t.add_link(s1, s2, params(10));
+        t.add_link(s2, h2, params(10));
+        t.add_link(s1, s3, params(50));
+        t.add_link(s3, s2, params(50));
+        (t, [h1, s1, s2, s3, h2])
+    }
+
+    #[test]
+    fn picks_shortest_path() {
+        let (t, [h1, s1, s2, _s3, h2]) = line_with_detour();
+        let r = RouteTable::compute(&t);
+        assert_eq!(r.path(h1, h2).unwrap(), vec![h1, s1, s2, h2]);
+        assert_eq!(r.distance(h1, h2).unwrap(), SimDuration::from_millis(30));
+        assert_eq!(r.hop_count(h1, h2), Some(3));
+        assert_eq!(r.next_hop(s1, h2), Some(s2));
+    }
+
+    #[test]
+    fn egress_ports_follow_path() {
+        let (t, [h1, s1, _s2, _s3, h2]) = line_with_detour();
+        let r = RouteTable::compute(&t);
+        // s1's ports: 0→h1, 1→s2, 2→s3
+        assert_eq!(r.egress_port(&t, s1, h2), Some(1));
+        assert_eq!(r.egress_port(&t, s1, h1), Some(0));
+        assert_eq!(r.egress_port(&t, h1, h2), Some(0), "host single uplink");
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_host("a");
+        let b = t.add_host("b");
+        let c = t.add_host("c");
+        t.add_link(a, b, params(10));
+        // c has a link only to itself-ish world: connect c to nothing else.
+        let d = t.add_host("d");
+        t.add_link(c, d, params(10));
+        let r = RouteTable::compute(&t);
+        assert_eq!(r.distance(a, c), None);
+        assert_eq!(r.path(a, c), None);
+        assert_eq!(r.hop_count(a, b), Some(1));
+    }
+
+    #[test]
+    fn equal_cost_tiebreak_is_deterministic() {
+        // Ring of 4 switches: two equal-cost paths between opposite corners.
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1");
+        let h2 = t.add_host("h2");
+        let s: Vec<NodeId> = (0..4).map(|i| t.add_switch(format!("s{i}"))).collect();
+        t.add_link(h1, s[0], params(10));
+        t.add_link(h2, s[2], params(10));
+        t.add_link(s[0], s[1], params(10));
+        t.add_link(s[1], s[2], params(10));
+        t.add_link(s[0], s[3], params(10));
+        t.add_link(s[3], s[2], params(10));
+        let r1 = RouteTable::compute(&t);
+        let r2 = RouteTable::compute(&t);
+        assert_eq!(r1.path(h1, h2), r2.path(h1, h2));
+        assert_eq!(r1.path(h1, h2).unwrap().len(), 5, "h1 s0 sX s2 h2");
+    }
+
+    #[test]
+    fn path_to_self_is_singleton() {
+        let (t, [h1, ..]) = line_with_detour();
+        let r = RouteTable::compute(&t);
+        assert_eq!(r.path(h1, h1).unwrap(), vec![h1]);
+        assert_eq!(r.distance(h1, h1).unwrap(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,44 @@
+//! Ground-truth simulator statistics (what *actually* happened, as opposed
+//! to what INT *measured* — the tests compare the two).
+
+use serde::{Deserialize, Serialize};
+
+/// Engine-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Events dispatched by the engine.
+    pub events_processed: u64,
+    /// Frames handed to host applications / transports.
+    pub frames_delivered: u64,
+    /// Frames forwarded by switches.
+    pub frames_forwarded: u64,
+    /// Frames dropped because an egress queue was full.
+    pub drops_queue_full: u64,
+    /// Frames dropped by the data plane (no route, TTL, parse failure).
+    pub drops_dataplane: u64,
+    /// Frames dropped at a host (wrong address, unbound port).
+    pub drops_host: u64,
+}
+
+impl NetStats {
+    /// Total drops of any kind.
+    pub fn total_drops(&self) -> u64 {
+        self.drops_queue_full + self.drops_dataplane + self.drops_host
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_drops_sums() {
+        let s = NetStats {
+            drops_queue_full: 1,
+            drops_dataplane: 2,
+            drops_host: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.total_drops(), 6);
+    }
+}

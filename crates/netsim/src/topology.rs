@@ -1,0 +1,305 @@
+//! Topology description: nodes (hosts and switches), links, port bindings,
+//! and deterministic IP/MAC assignment.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Index of a node in the topology (hosts and switches share the space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a link in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// A node-local port index (matches `int_dataplane::PortId`).
+pub type PortId = u16;
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end host: runs applications, terminates transport connections.
+    Host,
+    /// A P4-programmable switch: runs a data-plane program.
+    Switch,
+}
+
+/// Physical characteristics of a (bidirectional, symmetric) link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Line rate in bits per second (each direction).
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Egress queue capacity at each endpoint, in packets (drop-tail).
+    pub queue_cap_pkts: usize,
+}
+
+impl LinkParams {
+    /// The paper's emulation setting: 20 Mbit/s effective rate, 10 ms
+    /// delay, and a BMv2-like queue of 64 packets.
+    pub fn paper_default() -> Self {
+        LinkParams {
+            bandwidth_bps: 20_000_000,
+            delay: SimDuration::from_millis(10),
+            queue_cap_pkts: 64,
+        }
+    }
+}
+
+/// One endpoint's view of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortBinding {
+    /// The link this port attaches to.
+    pub link: LinkId,
+    /// Node on the far end.
+    pub peer: NodeId,
+    /// Port index on the far end.
+    pub peer_port: PortId,
+}
+
+/// A node in the specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Node identity.
+    pub id: NodeId,
+    /// Human-readable name (unique).
+    pub name: String,
+    /// Host or switch.
+    pub kind: NodeKind,
+    /// Ports, in creation order.
+    pub ports: Vec<PortBinding>,
+}
+
+/// A link in the specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Link identity.
+    pub id: LinkId,
+    /// First endpoint (node, port).
+    pub a: (NodeId, PortId),
+    /// Second endpoint (node, port).
+    pub b: (NodeId, PortId),
+    /// Physical parameters.
+    pub params: LinkParams,
+}
+
+impl LinkSpec {
+    /// The far end of this link as seen from `node`.
+    pub fn peer_of(&self, node: NodeId) -> (NodeId, PortId) {
+        if self.a.0 == node {
+            self.b
+        } else {
+            debug_assert_eq!(self.b.0, node, "node {node} is not on link {:?}", self.id);
+            self.a
+        }
+    }
+}
+
+/// A complete network description, built incrementally.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    /// All nodes (index = `NodeId.0`).
+    pub nodes: Vec<NodeSpec>,
+    /// All links (index = `LinkId.0`).
+    pub links: Vec<LinkSpec>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        let name = name.into();
+        assert!(
+            self.nodes.iter().all(|n| n.name != name),
+            "duplicate node name `{name}`"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSpec { id, name, kind, ports: Vec::new() });
+        id
+    }
+
+    /// Add a host.
+    pub fn add_host(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name, NodeKind::Host)
+    }
+
+    /// Add a switch.
+    pub fn add_switch(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(name, NodeKind::Switch)
+    }
+
+    /// Connect two nodes; ports are allocated in creation order on each.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, params: LinkParams) -> LinkId {
+        assert_ne!(a, b, "self-links are not supported");
+        let id = LinkId(self.links.len() as u32);
+        let a_port = self.nodes[a.0 as usize].ports.len() as PortId;
+        let b_port = self.nodes[b.0 as usize].ports.len() as PortId;
+        self.nodes[a.0 as usize].ports.push(PortBinding { link: id, peer: b, peer_port: b_port });
+        self.nodes[b.0 as usize].ports.push(PortBinding { link: id, peer: a, peer_port: a_port });
+        self.links.push(LinkSpec { id, a: (a, a_port), b: (b, b_port), params });
+        id
+    }
+
+    /// Node spec by id.
+    pub fn node(&self, id: NodeId) -> &NodeSpec {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Link spec by id.
+    pub fn link(&self, id: LinkId) -> &LinkSpec {
+        &self.links[id.0 as usize]
+    }
+
+    /// All host node ids, in creation order.
+    pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Host).map(|n| n.id)
+    }
+
+    /// All switch node ids, in creation order.
+    pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Switch).map(|n| n.id)
+    }
+
+    /// Look a node up by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.name == name).map(|n| n.id)
+    }
+
+    /// Deterministic IPv4 address of a host: `10.0.x.y` derived from the
+    /// node id. Switches are transparent L3 devices and have no address.
+    pub fn host_ip(id: NodeId) -> Ipv4Addr {
+        let n = id.0 + 1; // avoid .0 network address
+        Ipv4Addr::new(10, 0, (n >> 8) as u8, (n & 0xFF) as u8)
+    }
+
+    /// Inverse of [`Topology::host_ip`].
+    pub fn node_of_ip(ip: Ipv4Addr) -> Option<NodeId> {
+        let o = ip.octets();
+        if o[0] != 10 || o[1] != 0 {
+            return None;
+        }
+        let n = ((o[2] as u32) << 8) | o[3] as u32;
+        n.checked_sub(1).map(NodeId)
+    }
+
+    /// Validate structural invariants; called by the simulator at build
+    /// time. Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for host in self.hosts() {
+            let n = self.node(host);
+            if n.ports.is_empty() {
+                return Err(format!("host `{}` has no links", n.name));
+            }
+        }
+        for link in &self.links {
+            for (node, port) in [link.a, link.b] {
+                let spec = self.node(node);
+                let bound = spec
+                    .ports
+                    .get(port as usize)
+                    .ok_or_else(|| format!("link {:?} references missing port", link.id))?;
+                if bound.link != link.id {
+                    return Err(format!("port binding mismatch on `{}`", spec.name));
+                }
+            }
+            if link.params.queue_cap_pkts == 0 {
+                return Err(format!("link {:?} has zero-capacity queue", link.id));
+            }
+            if link.params.bandwidth_bps == 0 {
+                return Err(format!("link {:?} has zero bandwidth", link.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1");
+        let s1 = t.add_switch("s1");
+        let h2 = t.add_host("h2");
+        let l1 = t.add_link(h1, s1, LinkParams::paper_default());
+        let l2 = t.add_link(s1, h2, LinkParams::paper_default());
+
+        assert_eq!(t.hosts().collect::<Vec<_>>(), vec![h1, h2]);
+        assert_eq!(t.switches().collect::<Vec<_>>(), vec![s1]);
+        assert_eq!(t.node_by_name("s1"), Some(s1));
+        assert_eq!(t.node(h1).ports[0], PortBinding { link: l1, peer: s1, peer_port: 0 });
+        assert_eq!(t.node(s1).ports[1], PortBinding { link: l2, peer: h2, peer_port: 0 });
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn peer_of_both_sides() {
+        let mut t = Topology::new();
+        let a = t.add_host("a");
+        let b = t.add_host("b");
+        t.add_link(a, b, LinkParams::paper_default());
+        let l = t.link(LinkId(0));
+        assert_eq!(l.peer_of(a), (b, 0));
+        assert_eq!(l.peer_of(b), (a, 0));
+    }
+
+    #[test]
+    fn ip_assignment_roundtrips() {
+        for id in [0u32, 1, 5, 254, 255, 256, 1000] {
+            let ip = Topology::host_ip(NodeId(id));
+            assert_eq!(Topology::node_of_ip(ip), Some(NodeId(id)), "{ip}");
+        }
+        assert_eq!(Topology::host_ip(NodeId(0)), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(Topology::node_of_ip(Ipv4Addr::new(192, 168, 0, 1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_rejected() {
+        let mut t = Topology::new();
+        t.add_host("x");
+        t.add_host("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_host("a");
+        t.add_link(a, a, LinkParams::paper_default());
+    }
+
+    #[test]
+    fn validate_catches_linkless_host() {
+        let mut t = Topology::new();
+        t.add_host("lonely");
+        assert!(t.validate().unwrap_err().contains("no links"));
+    }
+
+    #[test]
+    fn validate_catches_bad_params() {
+        let mut t = Topology::new();
+        let a = t.add_host("a");
+        let b = t.add_host("b");
+        t.add_link(
+            a,
+            b,
+            LinkParams { bandwidth_bps: 0, delay: SimDuration::ZERO, queue_cap_pkts: 1 },
+        );
+        assert!(t.validate().unwrap_err().contains("zero bandwidth"));
+    }
+}

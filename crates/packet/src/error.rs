@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Errors produced while encoding or decoding packet bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer ended before the full header/payload could be read.
+    Truncated {
+        /// What was being parsed when the buffer ran out.
+        what: &'static str,
+        /// Bytes that were needed.
+        needed: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// A header field held a value the parser cannot accept.
+    InvalidField {
+        /// Which field was invalid.
+        field: &'static str,
+        /// The offending value (widened to u64 for display).
+        value: u64,
+    },
+    /// The IPv4 header checksum did not verify.
+    BadChecksum {
+        /// Checksum found in the header.
+        found: u16,
+        /// Checksum computed over the header.
+        computed: u16,
+    },
+    /// A length field disagreed with the actual buffer length.
+    LengthMismatch {
+        /// What was being parsed.
+        what: &'static str,
+        /// Length claimed by the header.
+        claimed: usize,
+        /// Length actually present.
+        actual: usize,
+    },
+    /// The packet is not of the expected kind (e.g. parsing a probe payload
+    /// out of a non-probe packet).
+    WrongKind {
+        /// Expected packet kind.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated { what, needed, available } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, only {available} available"
+            ),
+            PacketError::InvalidField { field, value } => {
+                write!(f, "invalid value {value:#x} for field {field}")
+            }
+            PacketError::BadChecksum { found, computed } => write!(
+                f,
+                "bad IPv4 checksum: header has {found:#06x}, computed {computed:#06x}"
+            ),
+            PacketError::LengthMismatch { what, claimed, actual } => write!(
+                f,
+                "length mismatch in {what}: header claims {claimed}, buffer has {actual}"
+            ),
+            PacketError::WrongKind { expected } => {
+                write!(f, "packet is not a {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}

@@ -1,0 +1,247 @@
+//! In-band Network Telemetry record stacks.
+//!
+//! Each P4 switch a probe packet traverses appends one [`IntRecord`] to the
+//! probe's [`IntStack`] (paper §III-A, Fig. 2). A record carries:
+//!
+//! * the switch identity and ports the probe used,
+//! * the **maximum egress-queue occupancy** (in packets) the switch observed
+//!   on that egress port since the previous probe harvested it — the paper
+//!   found the *maximum* (not the mean) is the signal that correlates with
+//!   queuing delay,
+//! * the **measured upstream link latency**: the previous hop stamps its
+//!   egress time into its own record; this hop subtracts that stamp from its
+//!   ingress arrival time *before enqueueing*, so queuing delay is excluded,
+//! * this switch's own egress timestamp (consumed by the next hop).
+//!
+//! Because records are appended in path order, the scheduler can reconstruct
+//! network adjacency purely from the record sequence (paper §III-B).
+
+use crate::wire::{need, WireDecode, WireEncode};
+use crate::{PacketError, Result};
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+/// Telemetry appended by one switch to a probe packet. 32 bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntRecord {
+    /// Identifier of the switch that appended this record.
+    pub switch_id: u32,
+    /// Port the probe entered the switch on.
+    pub ingress_port: u16,
+    /// Port the probe left the switch on.
+    pub egress_port: u16,
+    /// Maximum egress-queue occupancy (packets) observed on `egress_port`
+    /// since the register was last harvested and reset by a probe.
+    pub max_qlen_pkts: u32,
+    /// Instantaneous egress-queue occupancy (packets) when the probe itself
+    /// was enqueued; recorded for diagnostics/ablations.
+    pub qlen_at_probe_pkts: u32,
+    /// Measured latency of the link the probe traversed to *reach* this
+    /// switch, in nanoseconds. Zero for the first switch on the path if the
+    /// origin host did not stamp an egress time.
+    pub link_latency_ns: u64,
+    /// Time at which the probe left this switch (egress timestamp),
+    /// consumed by the next hop to compute its `link_latency_ns`.
+    pub egress_ts_ns: u64,
+}
+
+impl IntRecord {
+    /// Wire size of one record.
+    pub const LEN: usize = 32;
+}
+
+impl WireEncode for IntRecord {
+    fn encoded_len(&self) -> usize {
+        Self::LEN
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u32(self.switch_id);
+        buf.put_u16(self.ingress_port);
+        buf.put_u16(self.egress_port);
+        buf.put_u32(self.max_qlen_pkts);
+        buf.put_u32(self.qlen_at_probe_pkts);
+        buf.put_u64(self.link_latency_ns);
+        buf.put_u64(self.egress_ts_ns);
+    }
+}
+
+impl WireDecode for IntRecord {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self> {
+        need(buf, "int record", Self::LEN)?;
+        Ok(IntRecord {
+            switch_id: buf.get_u32(),
+            ingress_port: buf.get_u16(),
+            egress_port: buf.get_u16(),
+            max_qlen_pkts: buf.get_u32(),
+            qlen_at_probe_pkts: buf.get_u32(),
+            link_latency_ns: buf.get_u64(),
+            egress_ts_ns: buf.get_u64(),
+        })
+    }
+}
+
+/// The ordered stack of per-hop telemetry records in a probe payload.
+///
+/// Record order is path order (first switch first): switches *append*.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IntStack {
+    /// Per-hop records, in the order the probe visited switches.
+    pub records: Vec<IntRecord>,
+}
+
+impl IntStack {
+    /// Maximum number of hops a single probe may record. Bounds parsing of
+    /// hostile/corrupt input; generous relative to any realistic edge path.
+    pub const MAX_HOPS: usize = 256;
+
+    /// An empty stack (probe fresh from its origin host).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of hops recorded so far.
+    pub fn hop_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Append one hop's telemetry (what a switch's egress deparser does).
+    pub fn push(&mut self, record: IntRecord) {
+        debug_assert!(self.records.len() < Self::MAX_HOPS);
+        self.records.push(record);
+    }
+
+    /// The most recently appended record, if any — the previous hop from the
+    /// perspective of the switch currently holding the probe.
+    pub fn last(&self) -> Option<&IntRecord> {
+        self.records.last()
+    }
+
+    /// Mutable access to the most recent record (used by a switch's egress
+    /// stage to stamp `egress_ts_ns` into its *own* record).
+    pub fn last_mut(&mut self) -> Option<&mut IntRecord> {
+        self.records.last_mut()
+    }
+
+    /// Iterate over `(upstream, downstream)` switch-id pairs, i.e. the link
+    /// adjacencies this probe's path reveals (paper §III-B).
+    pub fn adjacencies(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.records.windows(2).map(|w| (w[0].switch_id, w[1].switch_id))
+    }
+
+    /// Sum of all recorded link latencies along the probe path, ns.
+    pub fn total_link_latency_ns(&self) -> u64 {
+        self.records.iter().map(|r| r.link_latency_ns).sum()
+    }
+}
+
+impl WireEncode for IntStack {
+    fn encoded_len(&self) -> usize {
+        2 + self.records.len() * IntRecord::LEN
+    }
+
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        debug_assert!(self.records.len() <= u16::MAX as usize);
+        buf.put_u16(self.records.len() as u16);
+        for r in &self.records {
+            r.encode(buf);
+        }
+    }
+}
+
+impl WireDecode for IntStack {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self> {
+        need(buf, "int stack", 2)?;
+        let count = buf.get_u16() as usize;
+        if count > Self::MAX_HOPS {
+            return Err(PacketError::InvalidField { field: "int.hop_count", value: count as u64 });
+        }
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            records.push(IntRecord::decode(buf)?);
+        }
+        Ok(IntStack { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(switch_id: u32, maxq: u32) -> IntRecord {
+        IntRecord {
+            switch_id,
+            ingress_port: 1,
+            egress_port: 2,
+            max_qlen_pkts: maxq,
+            qlen_at_probe_pkts: maxq / 2,
+            link_latency_ns: 10_000_000,
+            egress_ts_ns: 123_456_789,
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = rec(7, 42);
+        let bytes = r.to_bytes();
+        assert_eq!(bytes.len(), IntRecord::LEN);
+        assert_eq!(IntRecord::decode(&mut &bytes[..]).unwrap(), r);
+    }
+
+    #[test]
+    fn stack_roundtrip_preserves_order() {
+        let mut s = IntStack::new();
+        for id in [3u32, 1, 4, 1, 5] {
+            s.push(rec(id, id * 10));
+        }
+        let parsed = IntStack::decode(&mut &s.to_bytes()[..]).unwrap();
+        assert_eq!(parsed, s);
+        let ids: Vec<u32> = parsed.records.iter().map(|r| r.switch_id).collect();
+        assert_eq!(ids, vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn adjacencies_follow_record_order() {
+        let mut s = IntStack::new();
+        for id in [1u32, 3, 4] {
+            s.push(rec(id, 0));
+        }
+        let adj: Vec<(u32, u32)> = s.adjacencies().collect();
+        assert_eq!(adj, vec![(1, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn empty_stack_roundtrips() {
+        let s = IntStack::new();
+        assert_eq!(s.hop_count(), 0);
+        let parsed = IntStack::decode(&mut &s.to_bytes()[..]).unwrap();
+        assert_eq!(parsed.hop_count(), 0);
+        assert_eq!(s.adjacencies().count(), 0);
+    }
+
+    #[test]
+    fn hop_count_bound_enforced() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(IntStack::MAX_HOPS as u16 + 1).to_be_bytes());
+        let err = IntStack::decode(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, PacketError::InvalidField { field: "int.hop_count", .. }));
+    }
+
+    #[test]
+    fn truncated_record_list_errors() {
+        let mut s = IntStack::new();
+        s.push(rec(1, 1));
+        s.push(rec(2, 2));
+        let bytes = s.to_bytes();
+        let err = IntStack::decode(&mut &bytes[..bytes.len() - 4]).unwrap_err();
+        assert!(matches!(err, PacketError::Truncated { .. }));
+    }
+
+    #[test]
+    fn total_link_latency_sums() {
+        let mut s = IntStack::new();
+        s.push(rec(1, 0));
+        s.push(rec(2, 0));
+        assert_eq!(s.total_link_latency_ns(), 20_000_000);
+    }
+}

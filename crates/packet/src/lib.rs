@@ -1,0 +1,94 @@
+//! # int-packet
+//!
+//! Byte-level packet formats used by the INT-based network-aware task
+//! scheduler. This crate implements everything a P4 parser/deparser would
+//! see on the wire:
+//!
+//! * [`eth`] — Ethernet II framing,
+//! * [`ipv4`] — IPv4 headers with internet checksums,
+//! * [`udp`] — UDP headers,
+//! * [`geneve`] — the Geneve-style option header that marks probe packets so
+//!   that P4 switches can distinguish them from production traffic
+//!   (paper §III-A),
+//! * [`int`] — the In-band Network Telemetry record stack appended to probe
+//!   packets by each switch (switch id, egress port, max queue occupancy,
+//!   measured link latency, egress timestamp),
+//! * [`probe`] — the probe packet payload (origin, sequence, timestamps,
+//!   INT stack),
+//! * [`msgs`] — control-plane messages (scheduler query/response, task
+//!   submission/result) carried over UDP,
+//! * [`wire`] — a small big-endian wire codec shared by all of the above,
+//! * [`builder`] — convenience packet composition, and
+//! * [`parse`] — a zero-copy parsed view over a raw frame.
+//!
+//! All multi-byte fields are big-endian (network byte order). Every header
+//! type round-trips: `decode(encode(h)) == h`, which the property tests
+//! enforce.
+//!
+//! The crate is deliberately free of any simulator dependency so that the
+//! scheduler core (`int-core`) can be pointed at a real INT deployment: it
+//! only ever consumes bytes.
+
+pub mod builder;
+pub mod eth;
+pub mod geneve;
+pub mod int;
+pub mod ipv4;
+pub mod msgs;
+pub mod parse;
+pub mod probe;
+pub mod tcp;
+pub mod udp;
+pub mod wire;
+
+mod error;
+
+pub use builder::PacketBuilder;
+pub use error::PacketError;
+pub use eth::{EtherType, EthernetHeader, MacAddr};
+pub use geneve::GeneveOption;
+pub use int::{IntRecord, IntStack};
+pub use ipv4::{IpProtocol, Ipv4Header};
+pub use parse::{L4View, ParsedPacket};
+pub use probe::{ProbePayload, RelayedProbe};
+pub use tcp::{TcpFlags, TcpHeader};
+pub use udp::UdpHeader;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PacketError>;
+
+/// UDP destination port reserved for probe packets (Geneve's IANA port).
+pub const PROBE_UDP_PORT: u16 = 6081;
+/// UDP port the scheduler service listens on for edge-device queries.
+pub const SCHEDULER_UDP_PORT: u16 = 7001;
+/// UDP port edge devices receive scheduler responses on (distinct from the
+/// service port so a device and the scheduler can share a host).
+pub const SCHED_CLIENT_UDP_PORT: u16 = 7002;
+/// UDP port edge servers listen on for task submissions.
+pub const TASK_UDP_PORT: u16 = 7100;
+/// UDP port the scheduler receives relayed probes on (all-pairs probing).
+pub const PROBE_RELAY_UDP_PORT: u16 = 7003;
+/// UDP port used by the ping (echo) responder.
+pub const ECHO_UDP_PORT: u16 = 7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_ports_are_distinct() {
+        let ports = [
+            PROBE_UDP_PORT,
+            SCHEDULER_UDP_PORT,
+            SCHED_CLIENT_UDP_PORT,
+            PROBE_RELAY_UDP_PORT,
+            TASK_UDP_PORT,
+            ECHO_UDP_PORT,
+        ];
+        for (i, a) in ports.iter().enumerate() {
+            for b in &ports[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Parsed view over a raw Ethernet frame — the software analogue of a P4
+//! parser: a fixed state machine `ethernet → ipv4 → {udp, tcp}` that
+//! records header values and the payload offset without copying the payload.
+
+use crate::eth::{EtherType, EthernetHeader};
+use crate::geneve::GeneveOption;
+use crate::ipv4::{IpProtocol, Ipv4Header};
+use crate::probe::ProbePayload;
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use crate::wire::WireDecode;
+use crate::{PacketError, Result, PROBE_UDP_PORT};
+
+/// Transport-layer header view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L4View {
+    /// UDP header.
+    Udp(UdpHeader),
+    /// TCP header.
+    Tcp(TcpHeader),
+}
+
+/// Headers extracted from a frame plus the payload byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedPacket {
+    /// Ethernet header (always present).
+    pub eth: EthernetHeader,
+    /// IPv4 header, if the EtherType was IPv4.
+    pub ip: Option<Ipv4Header>,
+    /// Transport header, if the IP protocol was UDP or TCP.
+    pub l4: Option<L4View>,
+    /// Byte offset where the L4 payload (or unparsed remainder) begins.
+    pub payload_offset: usize,
+}
+
+impl ParsedPacket {
+    /// Run the parser over a frame.
+    ///
+    /// Unknown EtherTypes and IP protocols are accepted — parsing simply
+    /// stops at the deepest understood header, exactly as a P4 parser falls
+    /// through to `accept`.
+    pub fn parse(frame: &[u8]) -> Result<ParsedPacket> {
+        let mut cursor = frame;
+        let eth = EthernetHeader::decode(&mut cursor)?;
+        let mut payload_offset = EthernetHeader::LEN;
+
+        let mut ip = None;
+        let mut l4 = None;
+
+        if eth.ethertype == EtherType::Ipv4 {
+            let ip_hdr = Ipv4Header::decode(&mut cursor)?;
+            payload_offset += Ipv4Header::LEN;
+
+            // Cross-check the IP length claim against reality so later
+            // stages can trust `total_len`.
+            let ip_payload_avail = frame.len() - payload_offset;
+            if ip_hdr.payload_len() > ip_payload_avail {
+                return Err(PacketError::LengthMismatch {
+                    what: "ipv4 payload",
+                    claimed: ip_hdr.payload_len(),
+                    actual: ip_payload_avail,
+                });
+            }
+
+            match ip_hdr.protocol {
+                IpProtocol::Udp => {
+                    let udp = UdpHeader::decode(&mut cursor)?;
+                    payload_offset += UdpHeader::LEN;
+                    let avail = frame.len() - payload_offset;
+                    if udp.payload_len() > avail {
+                        return Err(PacketError::LengthMismatch {
+                            what: "udp payload",
+                            claimed: udp.payload_len(),
+                            actual: avail,
+                        });
+                    }
+                    l4 = Some(L4View::Udp(udp));
+                }
+                IpProtocol::Tcp => {
+                    let tcp = TcpHeader::decode(&mut cursor)?;
+                    payload_offset += TcpHeader::LEN;
+                    l4 = Some(L4View::Tcp(tcp));
+                }
+                _ => {}
+            }
+            ip = Some(ip_hdr);
+        }
+
+        Ok(ParsedPacket { eth, ip, l4, payload_offset })
+    }
+
+    /// The L4 payload bytes of `frame` (the same buffer passed to `parse`).
+    pub fn payload<'f>(&self, frame: &'f [u8]) -> &'f [u8] {
+        &frame[self.payload_offset..]
+    }
+
+    /// UDP header if this is a UDP packet.
+    pub fn udp(&self) -> Option<UdpHeader> {
+        match self.l4 {
+            Some(L4View::Udp(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// TCP header if this is a TCP packet.
+    pub fn tcp(&self) -> Option<TcpHeader> {
+        match self.l4 {
+            Some(L4View::Tcp(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// True if this frame is an INT probe: UDP to the Geneve port whose
+    /// payload opens with a valid telemetry shim. This is the exact
+    /// predicate the P4 parser uses to branch into INT processing.
+    pub fn is_int_probe(&self, frame: &[u8]) -> bool {
+        match self.udp() {
+            Some(udp) if udp.dst_port == PROBE_UDP_PORT => {
+                let mut payload = self.payload(frame);
+                matches!(GeneveOption::decode(&mut payload), Ok(o) if o.is_int_probe())
+            }
+            _ => false,
+        }
+    }
+
+    /// Decode the probe payload of an INT probe frame.
+    pub fn probe_payload(&self, frame: &[u8]) -> Result<ProbePayload> {
+        if self.udp().map(|u| u.dst_port) != Some(PROBE_UDP_PORT) {
+            return Err(PacketError::WrongKind { expected: "int probe" });
+        }
+        let mut payload = self.payload(frame);
+        ProbePayload::decode(&mut payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+    use crate::wire::WireEncode;
+    use std::net::Ipv4Addr;
+
+    fn builder() -> PacketBuilder {
+        PacketBuilder::between(1, Ipv4Addr::new(10, 0, 0, 1), 9, Ipv4Addr::new(10, 0, 9, 1))
+    }
+
+    #[test]
+    fn probe_frame_is_detected() {
+        let probe = ProbePayload::new(1, 0, 42);
+        let frame = builder().udp_msg(40000, PROBE_UDP_PORT, &probe);
+        let p = ParsedPacket::parse(&frame).unwrap();
+        assert!(p.is_int_probe(&frame));
+        assert_eq!(p.probe_payload(&frame).unwrap(), probe);
+    }
+
+    #[test]
+    fn regular_udp_is_not_probe() {
+        let frame = builder().udp(40000, 5001, b"iperf data");
+        let p = ParsedPacket::parse(&frame).unwrap();
+        assert!(!p.is_int_probe(&frame));
+        assert!(p.probe_payload(&frame).is_err());
+    }
+
+    #[test]
+    fn udp_to_probe_port_without_shim_is_not_probe() {
+        let frame = builder().udp(40000, PROBE_UDP_PORT, b"not a shim at all");
+        let p = ParsedPacket::parse(&frame).unwrap();
+        assert!(!p.is_int_probe(&frame));
+    }
+
+    #[test]
+    fn ip_length_lie_is_caught() {
+        let mut frame = builder().udp(1, 2, b"xxxx");
+        // Inflate ip.total_len beyond the buffer and re-checksum.
+        let total = u16::from_be_bytes([frame[16], frame[17]]) + 100;
+        frame[16..18].copy_from_slice(&total.to_be_bytes());
+        frame[24] = 0;
+        frame[25] = 0;
+        let ck = crate::wire::internet_checksum(&frame[14..34]);
+        frame[24..26].copy_from_slice(&ck.to_be_bytes());
+        let err = ParsedPacket::parse(&frame).unwrap_err();
+        assert!(matches!(err, PacketError::LengthMismatch { what: "ipv4 payload", .. }));
+    }
+
+    #[test]
+    fn non_ip_frame_stops_at_ethernet() {
+        let eth = EthernetHeader {
+            dst: crate::MacAddr::for_node(2),
+            src: crate::MacAddr::for_node(1),
+            ethertype: EtherType::Other(0x88CC), // LLDP
+        };
+        let mut frame = eth.to_bytes();
+        frame.extend_from_slice(b"opaque");
+        let p = ParsedPacket::parse(&frame).unwrap();
+        assert!(p.ip.is_none());
+        assert!(p.l4.is_none());
+        assert_eq!(p.payload(&frame), b"opaque");
+    }
+
+    #[test]
+    fn other_ip_protocol_stops_at_ip() {
+        use crate::ipv4::{IpProtocol, Ipv4Header};
+        let ip = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            IpProtocol::Other(89), // OSPF
+            4,
+        );
+        let eth = EthernetHeader::ipv4(crate::MacAddr::for_node(1), crate::MacAddr::for_node(2));
+        let mut frame = eth.to_bytes();
+        frame.extend_from_slice(&ip.to_bytes());
+        frame.extend_from_slice(&[1, 2, 3, 4]);
+        let p = ParsedPacket::parse(&frame).unwrap();
+        assert!(p.ip.is_some());
+        assert!(p.l4.is_none());
+        assert_eq!(p.payload(&frame), &[1, 2, 3, 4]);
+    }
+}

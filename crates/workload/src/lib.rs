@@ -1,0 +1,16 @@
+//! # int-workload
+//!
+//! Workload and background-traffic generation for the paper's evaluation
+//! (§IV): Table I task classes, serverless / distributed job streams, and
+//! the three background-congestion scenarios (default, Traffic 1,
+//! Traffic 2). Everything is seeded: the same seed produces the same job
+//! submitters, task sizes, submission times, and background flows, which
+//! is what lets different scheduling policies be compared fairly.
+
+pub mod background;
+pub mod gen;
+pub mod spec;
+
+pub use background::{BackgroundScenario, BgFlow};
+pub use gen::{WorkloadConfig, WorkloadGenerator};
+pub use spec::{JobKind, JobSpec, TaskClass, TaskSpec};

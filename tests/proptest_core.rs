@@ -1,0 +1,170 @@
+//! Property-based tests on the scheduler core: ranking invariants,
+//! estimator monotonicity, utilization-curve behaviour, and map learning.
+
+use int_edge_sched::core::config::{HopSignal, UtilPoint};
+use int_edge_sched::core::rank::{Ranker, StaticDistances};
+use int_edge_sched::core::{
+    BandwidthEstimator, CoreConfig, DelayEstimator, NetNode, NetworkMap, Policy,
+};
+use int_edge_sched::packet::int::IntRecord;
+use int_edge_sched::packet::ProbePayload;
+use proptest::prelude::*;
+
+fn rec(switch_id: u32, maxq: u32, ts_ms: u64) -> IntRecord {
+    IntRecord {
+        switch_id,
+        ingress_port: 0,
+        egress_port: 1,
+        max_qlen_pkts: maxq,
+        qlen_at_probe_pkts: maxq / 2,
+        link_latency_ns: 10_000_000,
+        egress_ts_ns: ts_ms * 1_000_000,
+    }
+}
+
+/// A map where host `o` reaches the scheduler (host 100) via its own
+/// dedicated switch `10 + o` with queue `q`.
+fn star_map(qlens: &[u32]) -> NetworkMap {
+    let mut m = NetworkMap::new();
+    for (o, &q) in qlens.iter().enumerate() {
+        let mut p = ProbePayload::new(o as u32, 1, 0);
+        p.int.push(rec(10 + o as u32, q, 11));
+        m.apply_probe(&p, 100, 30_000_000);
+    }
+    m
+}
+
+proptest! {
+    /// Delay ranking orders candidates by non-decreasing estimate, and the
+    /// result is a permutation of the input.
+    #[test]
+    fn delay_ranking_is_sorted_permutation(qlens in proptest::collection::vec(0u32..64, 2..8)) {
+        let m = star_map(&qlens);
+        let mut r = Ranker::new(CoreConfig::default(), StaticDistances::new(), 1);
+        let candidates: Vec<u32> = (0..qlens.len() as u32).collect();
+        let ranked = r.rank(&m, 100, &candidates, Policy::IntDelay, 30_000_000);
+
+        prop_assert_eq!(ranked.len(), candidates.len());
+        let mut hosts: Vec<u32> = ranked.iter().map(|s| s.host).collect();
+        hosts.sort();
+        prop_assert_eq!(hosts, candidates);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].est_delay_ns <= w[1].est_delay_ns);
+        }
+    }
+
+    /// Bandwidth ranking is non-increasing in estimated bandwidth.
+    #[test]
+    fn bandwidth_ranking_is_sorted(qlens in proptest::collection::vec(0u32..64, 2..8)) {
+        let m = star_map(&qlens);
+        let mut r = Ranker::new(CoreConfig::default(), StaticDistances::new(), 1);
+        let candidates: Vec<u32> = (0..qlens.len() as u32).collect();
+        let ranked = r.rank(&m, 100, &candidates, Policy::IntBandwidth, 30_000_000);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].est_bandwidth_bps >= w[1].est_bandwidth_bps);
+        }
+    }
+
+    /// More queueing on a server's path can never make its delay estimate
+    /// smaller, nor its bandwidth estimate larger.
+    #[test]
+    fn estimates_monotone_in_queue(q1 in 0u32..60, bump in 1u32..30) {
+        let low = star_map(&[q1]);
+        let high = star_map(&[q1 + bump]);
+        let cfg = CoreConfig::default();
+        let de = DelayEstimator::new(cfg.clone());
+        let be = BandwidthEstimator::new(cfg);
+        let now = 30_000_000;
+
+        let d_low = de.estimate(&low, NetNode::Host(100), NetNode::Host(0), now).unwrap();
+        let d_high = de.estimate(&high, NetNode::Host(100), NetNode::Host(0), now).unwrap();
+        prop_assert!(d_high.total_ns() >= d_low.total_ns());
+
+        let b_low = be.estimate(&low, NetNode::Host(100), NetNode::Host(0), now).unwrap();
+        let b_high = be.estimate(&high, NetNode::Host(100), NetNode::Host(0), now).unwrap();
+        prop_assert!(b_high <= b_low);
+    }
+
+    /// The utilization interpolation is monotone and bounded for any
+    /// well-formed (sorted, clamped) curve.
+    #[test]
+    fn util_curve_monotone_bounded(
+        raw in proptest::collection::vec((0u32..200, 0.0f64..=1.0), 2..8),
+    ) {
+        let mut pts: Vec<UtilPoint> =
+            raw.into_iter().map(|(qlen, util)| UtilPoint { qlen, util }).collect();
+        pts.sort_by_key(|p| p.qlen);
+        pts.dedup_by_key(|p| p.qlen);
+        // Make utils non-decreasing so the curve is well-formed.
+        for i in 1..pts.len() {
+            if pts[i].util < pts[i - 1].util {
+                pts[i].util = pts[i - 1].util;
+            }
+        }
+        let cfg = CoreConfig { util_curve: pts, ..CoreConfig::default() };
+        let mut prev = -1.0;
+        for q in 0..=220 {
+            let u = cfg.utilization_for_qlen(q);
+            prop_assert!((0.0..=1.0).contains(&u), "bounded at q={q}: {u}");
+            prop_assert!(u >= prev - 1e-12, "monotone at q={q}");
+            prev = u;
+        }
+    }
+
+    /// Available bandwidth never exceeds capacity and hits the endpoints.
+    #[test]
+    fn available_bw_bounded(q in any::<u32>(), cap in 1_000u64..1_000_000_000) {
+        let cfg = CoreConfig { link_capacity_bps: cap, ..CoreConfig::default() };
+        let bw = cfg.available_bw_for_qlen(q);
+        prop_assert!(bw <= cap);
+    }
+
+    /// Learning is idempotent with respect to topology: re-applying the
+    /// same probe changes no adjacency, only freshness.
+    #[test]
+    fn reapplying_probe_is_topology_idempotent(qlens in proptest::collection::vec(0u32..64, 1..6)) {
+        let mut m = star_map(&qlens);
+        let edges_before: Vec<_> = m.edges().map(|(a, b, _)| (a, b)).collect();
+        let mut p = ProbePayload::new(0, 2, 0);
+        p.int.push(rec(10, qlens[0], 11));
+        m.apply_probe(&p, 100, 31_000_000);
+        let edges_after: Vec<_> = m.edges().map(|(a, b, _)| (a, b)).collect();
+        prop_assert_eq!(edges_before, edges_after);
+    }
+
+    /// The instantaneous-queue ablation signal is also monotone in the
+    /// reported instantaneous value.
+    #[test]
+    fn instantaneous_signal_used_when_configured(q in 2u32..60) {
+        let mut m = NetworkMap::new();
+        let mut p = ProbePayload::new(0, 1, 0);
+        // max = q, instantaneous = q/2 (from rec()).
+        p.int.push(rec(10, q, 11));
+        m.apply_probe(&p, 100, 30_000_000);
+
+        let max_cfg = CoreConfig::default();
+        let inst_cfg = CoreConfig { hop_signal: HopSignal::InstantaneousQueue, ..CoreConfig::default() };
+        let edge_q_max =
+            m.effective_qlen(&max_cfg, NetNode::Switch(10), NetNode::Host(100), 30_000_000);
+        let edge_q_inst =
+            m.effective_qlen(&inst_cfg, NetNode::Switch(10), NetNode::Host(100), 30_000_000);
+        prop_assert_eq!(edge_q_max, q);
+        prop_assert_eq!(edge_q_inst, q / 2);
+    }
+
+    /// Random ranking with the same seed is reproducible for any candidate
+    /// set.
+    #[test]
+    fn random_ranking_reproducible(candidates in proptest::collection::btree_set(0u32..50, 1..10), seed in any::<u64>()) {
+        let cands: Vec<u32> = candidates.into_iter().collect();
+        let m = NetworkMap::new();
+        let order = |s| {
+            let mut r = Ranker::new(CoreConfig::default(), StaticDistances::new(), s);
+            r.rank(&m, 99, &cands, Policy::Random, 0)
+                .iter()
+                .map(|x| x.host)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(order(seed), order(seed));
+    }
+}
