@@ -263,7 +263,9 @@ mod relay_tests {
                 1,
             )),
         );
-        sim.run_until(int_netsim::SimTime::ZERO + SimDuration::from_secs(1));
+        // Run 1.2 s: the sender's random phase can push the 10th probe's
+        // arrival past the 1 s mark, so leave headroom beyond 10 intervals.
+        sim.run_until(int_netsim::SimTime::ZERO + SimDuration::from_millis(1200));
 
         assert!(sim.app::<ProbeRelayApp>(h2, relay).unwrap().relayed >= 10);
         let app = sim.app::<SchedulerApp>(sched, sapp).unwrap();

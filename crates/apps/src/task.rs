@@ -146,15 +146,10 @@ impl App for TaskExecutorApp {
                 }
             }
             TcpEvent::Closed { conn } => {
-                // Stream ended; if the data never completed this was a
-                // truncated submission — forget it.
-                if let Some(st) = self.streams.get(&conn) {
-                    if st.data_received_at.is_some() {
-                        self.streams.remove(&conn);
-                    } else {
-                        self.streams.remove(&conn);
-                    }
-                }
+                // Stream ended; completed submissions were already recorded
+                // in try_consume, truncated ones are simply forgotten —
+                // either way the stream state goes.
+                self.streams.remove(&conn);
             }
             TcpEvent::Connected { .. } => {}
         }
@@ -343,7 +338,7 @@ impl App for TaskSubmitterApp {
                         data_len: task.data_bytes,
                     };
                     let mut stream = header.to_bytes();
-                    stream.extend(std::iter::repeat(0u8).take(task.data_bytes as usize));
+                    stream.extend(std::iter::repeat_n(0u8, task.data_bytes as usize));
                     ctx.tcp_send(conn, stream);
                     ctx.tcp_close(conn);
 

@@ -1,7 +1,7 @@
 //! The packet buffer a data-plane program operates on.
 
 use bytes::BytesMut;
-use int_packet::{ParsedPacket, Result};
+use int_packet::{Ipv4Header, ParsedPacket, Result};
 
 /// Per-packet user metadata, the analogue of P4 `metadata` structs: scratch
 /// state that travels with the packet between pipeline stages of one switch
@@ -31,18 +31,36 @@ impl FrameMeta {
 }
 
 /// A full Ethernet frame plus pipeline metadata.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The frame memoizes its parse: the first [`Frame::parsed`] call runs the
+/// header parser and caches the result, so switch ingress, egress, traffic
+/// accounting, and host delivery all share one parse per hop instead of
+/// re-walking the headers. Code that mutates `bytes` directly must call
+/// [`Frame::invalidate_parse`] (length changes are detected and re-parsed
+/// automatically; same-length header rewrites are not).
+#[derive(Debug, Clone)]
 pub struct Frame {
     /// Raw frame bytes (Ethernet header first).
     pub bytes: BytesMut,
     /// Per-packet metadata (zeroed between switches).
     pub meta: FrameMeta,
+    /// Memoized `(bytes.len() at parse time, parsed view)`.
+    cache: Option<(usize, ParsedPacket)>,
 }
+
+/// Equality is over wire bytes and metadata; the parse cache is derived
+/// state and never observable.
+impl PartialEq for Frame {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes && self.meta == other.meta
+    }
+}
+impl Eq for Frame {}
 
 impl Frame {
     /// Wrap raw frame bytes.
     pub fn new(bytes: BytesMut) -> Self {
-        Frame { bytes, meta: FrameMeta::default() }
+        Frame { bytes, meta: FrameMeta::default(), cache: None }
     }
 
     /// Wire length in bytes (what occupies link capacity).
@@ -51,8 +69,42 @@ impl Frame {
     }
 
     /// Parse the headers (convenience over [`ParsedPacket::parse`]).
+    /// Uncached; prefer [`Frame::parsed`] where `&mut self` is available.
     pub fn parse(&self) -> Result<ParsedPacket> {
         ParsedPacket::parse(&self.bytes)
+    }
+
+    /// Parse the headers once and memoize. A cached view is reused only
+    /// while `bytes.len()` is unchanged, so payload-growing rewrites (probe
+    /// augmentation) self-heal even without an explicit invalidation.
+    pub fn parsed(&mut self) -> Result<ParsedPacket> {
+        if let Some((len, p)) = self.cache {
+            if len == self.bytes.len() {
+                return Ok(p);
+            }
+        }
+        let p = ParsedPacket::parse(&self.bytes)?;
+        self.cache = Some((self.bytes.len(), p));
+        Ok(p)
+    }
+
+    /// Drop the memoized parse after mutating `bytes` in place.
+    pub fn invalidate_parse(&mut self) {
+        self.cache = None;
+    }
+
+    /// Mutable view of the cached IPv4 header, for callers that patch the
+    /// raw bytes and keep the memoized parse in sync (e.g. TTL decrement).
+    pub fn cached_ip_mut(&mut self) -> Option<&mut Ipv4Header> {
+        self.cache.as_mut().and_then(|(_, p)| p.ip.as_mut())
+    }
+
+    /// Reset to an empty frame for buffer reuse: contents and metadata are
+    /// cleared, the byte buffer's allocation is kept.
+    pub fn reset_for_reuse(&mut self) {
+        self.bytes.clear();
+        self.meta = FrameMeta::default();
+        self.cache = None;
     }
 }
 
@@ -69,6 +121,58 @@ mod tests {
         let f = Frame::new(b);
         assert_eq!(f.wire_len(), 14 + 20 + 8 + 50);
         assert!(f.parse().is_ok());
+    }
+
+    fn udp_frame(payload: &[u8]) -> Frame {
+        Frame::new(
+            PacketBuilder::between(1, Ipv4Addr::new(10, 0, 0, 1), 2, Ipv4Addr::new(10, 0, 0, 2))
+                .udp(1, 2, payload),
+        )
+    }
+
+    #[test]
+    fn parsed_memoizes_and_matches_fresh_parse() {
+        let mut f = udp_frame(&[7u8; 32]);
+        let first = f.parsed().unwrap();
+        let again = f.parsed().unwrap();
+        assert_eq!(first.payload_offset, again.payload_offset);
+        let fresh = f.parse().unwrap();
+        assert_eq!(fresh.ip.unwrap().ttl, first.ip.unwrap().ttl);
+    }
+
+    #[test]
+    fn length_change_self_heals_the_cache() {
+        let mut f = udp_frame(&[1u8; 10]);
+        let before = f.parsed().unwrap();
+        // Rewrite with a longer payload — as probe augmentation does.
+        f.bytes =
+            PacketBuilder::between(1, Ipv4Addr::new(10, 0, 0, 1), 2, Ipv4Addr::new(10, 0, 0, 2))
+                .udp(1, 2, &[1u8; 40]);
+        let after = f.parsed().unwrap();
+        assert_eq!(before.ip.unwrap().total_len, 20 + 8 + 10);
+        assert_eq!(after.ip.unwrap().total_len, 20 + 8 + 40, "cache re-parsed on length change");
+    }
+
+    #[test]
+    fn cached_ip_mut_patches_the_memoized_view() {
+        let mut f = udp_frame(&[0u8; 8]);
+        let ttl = f.parsed().unwrap().ip.unwrap().ttl;
+        f.cached_ip_mut().unwrap().ttl = ttl - 1;
+        assert_eq!(f.parsed().unwrap().ip.unwrap().ttl, ttl - 1);
+        f.invalidate_parse();
+        // After invalidation the view comes from the (unchanged) bytes.
+        assert_eq!(f.parsed().unwrap().ip.unwrap().ttl, ttl);
+    }
+
+    #[test]
+    fn reset_for_reuse_clears_everything() {
+        let mut f = udp_frame(&[9u8; 64]);
+        f.meta.trace_id = 5;
+        let _ = f.parsed();
+        f.reset_for_reuse();
+        assert!(f.bytes.is_empty());
+        assert_eq!(f.meta, FrameMeta::default());
+        assert!(f.parse().is_err(), "empty frame no longer parses");
     }
 
     #[test]

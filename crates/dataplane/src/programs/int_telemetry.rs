@@ -90,7 +90,7 @@ impl IntTelemetryProgram {
 
     /// Append an INT record to a probe frame and re-deparse it in place.
     fn augment_probe(&mut self, frame: &mut Frame, ctx: &EgressCtx) {
-        let Ok(parsed) = frame.parse() else { return };
+        let Ok(parsed) = frame.parsed() else { return };
         let Ok(mut probe) = parsed.probe_payload(&frame.bytes) else { return };
 
         let max_qlen =
@@ -115,6 +115,9 @@ impl IntTelemetryProgram {
         let (Some(ip), Some(udp)) = (parsed.ip, parsed.udp()) else { return };
         let payload = probe.to_bytes();
         frame.bytes = redeparse_udp(&parsed.eth, &ip, &udp, &payload);
+        // The frame grew by one INT record; drop the memoized parse so the
+        // next stage re-reads the rewritten headers.
+        frame.invalidate_parse();
     }
 }
 
@@ -148,7 +151,7 @@ fn redeparse_udp(
 
 impl DataPlaneProgram for IntTelemetryProgram {
     fn ingress(&mut self, frame: &mut Frame, ctx: &IngressCtx) -> IngressVerdict {
-        let Ok(parsed) = frame.parse() else {
+        let Ok(parsed) = frame.parsed() else {
             return IngressVerdict::Drop;
         };
         let Some(ip) = parsed.ip else {
@@ -190,7 +193,7 @@ impl DataPlaneProgram for IntTelemetryProgram {
         if !self.cfg.int_enabled {
             return;
         }
-        let is_probe = match frame.parse() {
+        let is_probe = match frame.parsed() {
             Ok(p) => p.is_int_probe(&frame.bytes),
             Err(_) => false,
         };

@@ -49,7 +49,7 @@ impl L3ForwardProgram {
 
 impl DataPlaneProgram for L3ForwardProgram {
     fn ingress(&mut self, frame: &mut Frame, ctx: &IngressCtx) -> IngressVerdict {
-        let Ok(parsed) = frame.parse() else {
+        let Ok(parsed) = frame.parsed() else {
             return IngressVerdict::Drop;
         };
         let Some(ip) = parsed.ip else {
@@ -159,11 +159,8 @@ mod ttl_tests {
         let ctx = IngressCtx { now_ns: 0, switch_id: 1, ingress_port: 0 };
 
         let mut forwards = 0;
-        loop {
-            match p.ingress(&mut f, &ctx) {
-                IngressVerdict::Forward(_) => forwards += 1,
-                IngressVerdict::Drop => break,
-            }
+        while let IngressVerdict::Forward(_) = p.ingress(&mut f, &ctx) {
+            forwards += 1;
             assert!(forwards < 256, "runaway forwarding");
         }
         // Default TTL 64: 63 hops succeed, the 64th hop sees TTL 1 → drop.

@@ -33,6 +33,11 @@ pub(crate) fn decrement_ttl(frame: &mut Frame) -> bool {
     let ck = internet_checksum(hdr);
     hdr[10] = (ck >> 8) as u8;
     hdr[11] = (ck & 0xFF) as u8;
+    // The rewrite is length-preserving, so the frame's memoized parse stays
+    // live — patch the one field that changed instead of re-parsing.
+    if let Some(ip) = frame.cached_ip_mut() {
+        ip.ttl = ttl - 1;
+    }
     true
 }
 
@@ -78,5 +83,16 @@ mod tests {
     fn truncated_frame_is_dead() {
         let mut f = Frame::new(BytesMut::from(&b"short"[..]));
         assert!(!decrement_ttl(&mut f));
+    }
+
+    #[test]
+    fn memoized_parse_stays_coherent_across_decrement() {
+        let mut f = frame();
+        let cached_before = f.parsed().unwrap();
+        assert!(decrement_ttl(&mut f));
+        let cached_after = f.parsed().unwrap();
+        let fresh = ParsedPacket::parse(&f.bytes).unwrap();
+        assert_eq!(cached_after.ip.unwrap().ttl, fresh.ip.unwrap().ttl, "cache patched, not stale");
+        assert_eq!(cached_after.ip.unwrap().ttl, cached_before.ip.unwrap().ttl - 1);
     }
 }

@@ -11,8 +11,8 @@
 //!   future-work extension: a backlogged near server loses its top rank.
 
 use crate::compare::{CompareConfig, CompareOutput, Metric};
+use crate::par;
 use crate::report;
-use crossbeam::thread;
 use int_core::compute::{Capabilities, ComputeTracker};
 use int_core::config::HopSignal;
 use int_core::rank::RankedServer;
@@ -54,30 +54,19 @@ fn mean_gain(out: &CompareOutput) -> f64 {
 
 /// Sweep the conversion factor k.
 pub fn run_k_sweep(seed: u64, total_tasks: usize, k_ms_values: &[u64]) -> KSweepOutput {
-    let points: Vec<KSweepPoint> = thread::scope(|s| {
-        let handles: Vec<_> = k_ms_values
-            .iter()
-            .map(|&k_ms| {
-                s.spawn(move |_| {
-                    let mut cfg =
-                        CompareConfig::paper_default(seed, JobKind::Serverless, Policy::IntDelay);
-                    cfg.total_tasks = total_tasks;
-                    let mut out_cfg = cfg.clone();
-                    // Patch k into the testbed core config via the runner.
-                    let out = run_with_core_patch(&mut out_cfg, |core| {
-                        core.k_ns_per_pkt = k_ms * 1_000_000;
-                    });
-                    KSweepPoint {
-                        k_ms,
-                        mean_completion_ms: overall_mean_completion(&out, Policy::IntDelay),
-                        mean_gain: mean_gain(&out),
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("k cell")).collect()
-    })
-    .expect("scope");
+    let points = par::parallel_map(k_ms_values, |&k_ms| {
+        let mut cfg = CompareConfig::paper_default(seed, JobKind::Serverless, Policy::IntDelay);
+        cfg.total_tasks = total_tasks;
+        // Patch k into the testbed core config via the runner.
+        let out = run_with_core_patch(&mut cfg, |core| {
+            core.k_ns_per_pkt = k_ms * 1_000_000;
+        });
+        KSweepPoint {
+            k_ms,
+            mean_completion_ms: overall_mean_completion(&out, Policy::IntDelay),
+            mean_gain: mean_gain(&out),
+        }
+    });
     KSweepOutput { points }
 }
 
@@ -96,17 +85,14 @@ pub struct SignalAblationOutput {
 
 /// Compare MaxQueue vs InstantaneousQueue hop signals.
 pub fn run_signal_ablation(seed: u64, total_tasks: usize) -> SignalAblationOutput {
-    let run_one = |signal: HopSignal| {
+    let signals = [HopSignal::MaxQueue, HopSignal::InstantaneousQueue];
+    let mut outs = par::parallel_map(&signals, |&signal| {
         let mut cfg = CompareConfig::paper_default(seed, JobKind::Serverless, Policy::IntDelay);
         cfg.total_tasks = total_tasks;
         run_with_core_patch(&mut cfg, move |core| core.hop_signal = signal)
-    };
-    let (a, b) = thread::scope(|s| {
-        let ha = s.spawn(|_| run_one(HopSignal::MaxQueue));
-        let hb = s.spawn(|_| run_one(HopSignal::InstantaneousQueue));
-        (ha.join().expect("max"), hb.join().expect("inst"))
     })
-    .expect("scope");
+    .into_iter();
+    let (a, b) = (outs.next().expect("max"), outs.next().expect("inst"));
     SignalAblationOutput {
         max_queue_gain: mean_gain(&a),
         instantaneous_gain: mean_gain(&b),
@@ -118,22 +104,15 @@ pub fn run_signal_ablation(seed: u64, total_tasks: usize) -> SignalAblationOutpu
 /// Run a comparison with a patched core configuration.
 fn run_with_core_patch(
     cfg: &mut CompareConfig,
-    patch: impl Fn(&mut int_core::CoreConfig) + Copy + Send,
+    patch: impl Fn(&mut int_core::CoreConfig) + Copy + Send + Sync,
 ) -> CompareOutput {
     use crate::runner::run;
     let policies = [cfg.int_policy, Policy::Nearest, Policy::Random];
-    let results: Vec<_> = thread::scope(|s| {
-        let handles: Vec<_> = policies
-            .iter()
-            .map(|&p| {
-                let mut ecfg = cfg.experiment_for(p);
-                patch(&mut ecfg.testbed.core);
-                s.spawn(move |_| run(&ecfg))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("run")).collect()
-    })
-    .expect("scope");
+    let results = par::parallel_map(&policies, |&p| {
+        let mut ecfg = cfg.experiment_for(p);
+        patch(&mut ecfg.testbed.core);
+        run(&ecfg)
+    });
     let mut map = std::collections::BTreeMap::new();
     for r in results {
         map.insert(crate::compare::policy_key(r.policy), r);

@@ -10,8 +10,8 @@
 //! of the per-interval max queue lengths and of the RTT samples is
 //! reported.
 
+use crate::par;
 use crate::report;
-use crossbeam::thread;
 use int_apps::iperf::{IperfConfig, IperfSenderApp, IPERF_UDP_PORT};
 use int_apps::{EchoResponderApp, PingApp, ProbeCollectorApp, ProbeSenderApp, UdpSinkApp};
 use int_netsim::{LinkParams, SimConfig, SimDuration, SimTime, Simulator, Topology};
@@ -70,15 +70,7 @@ pub struct Fig3Output {
 
 /// Run the sweep (levels in parallel — each level is its own simulation).
 pub fn run(cfg: &Fig3Config) -> Fig3Output {
-    let points: Vec<Fig3Point> = thread::scope(|s| {
-        let handles: Vec<_> = cfg
-            .utilizations
-            .iter()
-            .map(|&u| s.spawn(move |_| run_level(cfg, u)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("level thread")).collect()
-    })
-    .expect("scope");
+    let points = par::parallel_map(&cfg.utilizations, |&u| run_level(cfg, u));
     Fig3Output { config: cfg.clone(), points }
 }
 

@@ -9,9 +9,9 @@
 //! >60 % of bandwidth-ranked distributed tasks gain ≥20 %.
 
 use crate::compare::{run_comparison_seeds, CompareConfig, Metric, MultiCompareOutput};
+use crate::par;
 use crate::report;
 use crate::stats::Ecdf;
-use crossbeam::thread;
 use int_core::Policy;
 use int_workload::JobKind;
 use serde::{Deserialize, Serialize};
@@ -47,20 +47,11 @@ pub fn run_seeds(seeds: &[u64], total_tasks: usize) -> Fig8Output {
         ("distributed/delay", JobKind::Distributed, Policy::IntDelay),
         ("distributed/bandwidth", JobKind::Distributed, Policy::IntBandwidth),
     ];
-    let outputs: Vec<MultiCompareOutput> = thread::scope(|s| {
-        let handles: Vec<_> = configs
-            .iter()
-            .map(|&(_, kind, policy)| {
-                s.spawn(move |_| {
-                    let mut cfg = CompareConfig::paper_default(seeds[0], kind, policy);
-                    cfg.total_tasks = total_tasks;
-                    run_comparison_seeds(&cfg, seeds)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("config run")).collect()
-    })
-    .expect("scope");
+    let outputs: Vec<MultiCompareOutput> = par::parallel_map(&configs, |&(_, kind, policy)| {
+        let mut cfg = CompareConfig::paper_default(seeds[0], kind, policy);
+        cfg.total_tasks = total_tasks;
+        run_comparison_seeds(&cfg, seeds)
+    });
 
     let curves = configs
         .iter()

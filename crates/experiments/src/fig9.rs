@@ -8,9 +8,9 @@
 //! 0.1 s ≈ 12.5 s mean transfer vs >15 s at a 30 s interval (>20 %).
 
 use crate::compare::{CompareConfig, Metric};
+use crate::par;
 use crate::report;
-use crate::runner::{run, ExperimentResult};
-use crossbeam::thread;
+use crate::runner::run;
 use int_core::Policy;
 use int_netsim::SimDuration;
 use int_workload::{BackgroundScenario, JobKind, TaskClass};
@@ -59,34 +59,23 @@ pub fn run_sweep(seed: u64, total_tasks: usize, intervals: &[SimDuration]) -> Fi
         .flat_map(|&iv| scenarios.iter().map(move |&(l, s, c)| (iv, l, s, c)))
         .collect();
 
-    let results: Vec<(SimDuration, &str, ExperimentResult)> = thread::scope(|scope| {
-        let handles: Vec<_> = cells
-            .iter()
-            .map(|&(iv, label, scenario, class)| {
-                scope.spawn(move |_| {
-                    let mut cmp =
-                        CompareConfig::paper_default(seed, JobKind::Distributed, Policy::IntDelay);
-                    cmp.total_tasks = total_tasks;
-                    cmp.scenario = scenario;
-                    cmp.probe_interval = iv;
-                    cmp.classes = vec![class];
-                    let mut ecfg = cmp.experiment_for(Policy::IntDelay);
-                    // A deployment polling at interval T treats T-old data
-                    // as current (the paper's SNMP comparison): scale the
-                    // collector's aggregation window and staleness horizon
-                    // with the interval instead of discarding old data.
-                    let iv_ns = iv.as_nanos();
-                    ecfg.testbed.core.qlen_window_ns =
-                        ecfg.testbed.core.qlen_window_ns.max(iv_ns + 100_000_000);
-                    ecfg.testbed.core.staleness_ns =
-                        ecfg.testbed.core.staleness_ns.max(2 * iv_ns);
-                    (iv, label, run(&ecfg))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("cell run")).collect()
-    })
-    .expect("scope");
+    let results = par::parallel_map(&cells, |&(iv, label, scenario, class)| {
+        let mut cmp = CompareConfig::paper_default(seed, JobKind::Distributed, Policy::IntDelay);
+        cmp.total_tasks = total_tasks;
+        cmp.scenario = scenario;
+        cmp.probe_interval = iv;
+        cmp.classes = vec![class];
+        let mut ecfg = cmp.experiment_for(Policy::IntDelay);
+        // A deployment polling at interval T treats T-old data
+        // as current (the paper's SNMP comparison): scale the
+        // collector's aggregation window and staleness horizon
+        // with the interval instead of discarding old data.
+        let iv_ns = iv.as_nanos();
+        ecfg.testbed.core.qlen_window_ns =
+            ecfg.testbed.core.qlen_window_ns.max(iv_ns + 100_000_000);
+        ecfg.testbed.core.staleness_ns = ecfg.testbed.core.staleness_ns.max(2 * iv_ns);
+        (iv, label, run(&ecfg))
+    });
 
     let points = results
         .into_iter()

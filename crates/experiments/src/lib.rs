@@ -22,6 +22,7 @@
 
 pub mod ablation;
 pub mod compare;
+pub mod par;
 pub mod fig3;
 pub mod fig5;
 pub mod fig6;

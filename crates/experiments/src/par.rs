@@ -1,0 +1,107 @@
+//! Deterministic parallel execution of experiment cells.
+//!
+//! Every figure harness has the same shape: a grid of independent
+//! simulation cells (policy × seed × sweep point), each deterministic
+//! given its config. This module runs such a grid across a scoped thread
+//! pool while keeping the *output order* identical to the input order —
+//! results land in pre-assigned slots, so the merge order (and therefore
+//! every serialized artifact) is independent of thread count and
+//! scheduling.
+//!
+//! Worker count comes from `INT_EXP_THREADS` when set (useful to pin CI
+//! or to force serial execution), otherwise from the machine's available
+//! parallelism.
+
+use crossbeam::thread;
+
+/// Worker-thread count: `INT_EXP_THREADS` override, else the machine's
+/// available parallelism, else 1.
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("INT_EXP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to [`threads`] workers, preserving order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(threads(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count.
+///
+/// Items are split into `workers` contiguous chunks, one scoped thread
+/// per chunk, each writing into its own slice of the result vector —
+/// order is preserved by construction, no result reordering or locking.
+pub fn parallel_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    thread::scope(|s| {
+        for (out_chunk, in_chunk) in slots.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            s.spawn(move |_| {
+                for (slot, item) in out_chunk.iter_mut().zip(in_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("parallel_map worker panicked");
+
+    slots.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for workers in [1, 2, 3, 7, 100, 1000] {
+            let out = parallel_map_with(workers, &items, |&x| x * x);
+            let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expected, "order broken at workers={workers}");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = parallel_map_with(1, &items, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7));
+        let par = parallel_map_with(4, &items, |&x| x.wrapping_mul(0x9E3779B9).rotate_left(7));
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map_with(8, &none, |&x| x).is_empty());
+        assert_eq!(parallel_map_with(8, &[5u32], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn threads_is_at_least_one() {
+        assert!(threads() >= 1);
+    }
+}

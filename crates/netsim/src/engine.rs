@@ -16,18 +16,19 @@
 
 use crate::app::{App, AppCtx, AppOp};
 use crate::event::{ConnId, Event, EventQueue};
+use crate::pool::{BufPool, PoolStats};
 use crate::queue::{DropTailQueue, QueueStats};
 use crate::routing::RouteTable;
 use crate::stats::NetStats;
 use crate::tcp::{TcpConfig, TcpHost};
-use crate::trace::TrafficAccountant;
+use crate::trace::{TrafficAccountant, TrafficClass};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, NodeKind, PortId, Topology};
 use int_dataplane::{
     DataPlaneProgram, EgressCtx, EnqueueCtx, Frame, IngressCtx, IngressVerdict,
     IntProgramConfig, IntTelemetryProgram,
 };
-use int_packet::{IpProtocol, L4View, PacketBuilder, TcpHeader};
+use int_packet::{L4View, PacketBuilder, TcpHeader};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -58,6 +59,9 @@ struct SwitchState {
     egress_rate_bps: Option<u64>,
 }
 
+// The size skew (HostState ≫ SwitchState) is fine: `NodeState`s live in one
+// `Vec` built at construction and are only ever borrowed afterwards.
+#[allow(clippy::large_enum_variant)]
 enum NodeState {
     Host(HostState),
     Switch(SwitchState),
@@ -104,6 +108,12 @@ pub struct Simulator {
     accounting: TrafficAccountant,
     next_trace_id: u64,
     started: bool,
+    /// Freelist of frame boxes: delivered and dropped frames are recycled
+    /// into the host send paths, so steady state allocates no frames.
+    pool: BufPool,
+    /// Scratch op buffers for app callbacks. A stack (not a single buffer)
+    /// because callbacks re-enter: `invoke_app` → `flush_tcp` → `invoke_app`.
+    ops_free: Vec<Vec<AppOp>>,
 }
 
 impl Simulator {
@@ -171,6 +181,8 @@ impl Simulator {
             accounting: TrafficAccountant::new(),
             next_trace_id: 1,
             started: false,
+            pool: BufPool::new(),
+            ops_free: Vec::new(),
         }
     }
 
@@ -204,6 +216,11 @@ impl Simulator {
     /// Engine-wide counters.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Frame-pool counters (how many takes hit the freelist vs allocated).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Per-class traffic accounting (empty unless
@@ -326,7 +343,7 @@ impl Simulator {
         }
     }
 
-    fn handle_arrive(&mut self, node: NodeId, port: PortId, mut frame: Frame) {
+    fn handle_arrive(&mut self, node: NodeId, port: PortId, mut frame: Box<Frame>) {
         match &mut self.nodes[node.0 as usize] {
             NodeState::Switch(sw) => {
                 let ictx =
@@ -338,6 +355,7 @@ impl Simulator {
                     }
                     IngressVerdict::Drop => {
                         self.stats.drops_dataplane += 1;
+                        self.pool.recycle(frame);
                     }
                 }
             }
@@ -347,9 +365,9 @@ impl Simulator {
 
     /// Place a frame on an egress queue, firing the enqueue hook and
     /// starting transmission if the port is idle.
-    fn enqueue(&mut self, node: NodeId, port: PortId, frame: Frame) {
+    fn enqueue(&mut self, node: NodeId, port: PortId, frame: Box<Frame>) {
         let now_ns = self.now.as_nanos();
-        let accepted = match &mut self.nodes[node.0 as usize] {
+        let rejected = match &mut self.nodes[node.0 as usize] {
             NodeState::Switch(sw) => {
                 let SwitchState { program, ports, .. } = sw;
                 let ps = &mut ports[port as usize];
@@ -363,17 +381,18 @@ impl Simulator {
                         &frame,
                         &EnqueueCtx { now_ns, port, qdepth_after_pkts: depth_ahead },
                     );
-                    let ok = ps.queue.enqueue(frame);
-                    debug_assert!(ok, "capacity was just checked");
-                    true
+                    let rejected = ps.queue.enqueue(frame);
+                    debug_assert!(rejected.is_none(), "capacity was just checked");
+                    rejected
                 } else {
                     ps.queue.enqueue(frame) // full: records the drop
                 }
             }
             NodeState::Host(h) => h.ports[port as usize].queue.enqueue(frame),
         };
-        if !accepted {
+        if let Some(dropped) = rejected {
             self.stats.drops_queue_full += 1;
+            self.pool.recycle(dropped);
             return;
         }
         if !self.port_transmitting(node, port) {
@@ -429,7 +448,13 @@ impl Simulator {
         };
         frame.meta.clear_per_hop();
         if self.cfg.account_traffic {
-            self.accounting.record(&frame.bytes);
+            // Classification reuses the frame's cached parse when present
+            // (and primes it for the receiving host otherwise).
+            let class = match frame.parsed() {
+                Ok(p) => TrafficClass::of_parsed(&p),
+                Err(_) => TrafficClass::Other,
+            };
+            self.accounting.record_classified(class, frame.wire_len());
         }
 
         let binding = self.topo.node(node).ports[port as usize];
@@ -448,13 +473,18 @@ impl Simulator {
         );
     }
 
-    fn deliver_to_host(&mut self, node: NodeId, frame: Frame) {
-        let Ok(parsed) = frame.parse() else {
+    fn deliver_to_host(&mut self, node: NodeId, mut frame: Box<Frame>) {
+        // The frame is owned locally, so app callbacks can borrow the
+        // payload straight out of its buffer — no copies on delivery. Every
+        // exit recycles the frame into the pool.
+        let Ok(parsed) = frame.parsed() else {
             self.stats.drops_host += 1;
+            self.pool.recycle(frame);
             return;
         };
         let Some(ip) = parsed.ip else {
             self.stats.drops_host += 1;
+            self.pool.recycle(frame);
             return;
         };
         let host_ip = match &self.nodes[node.0 as usize] {
@@ -463,6 +493,7 @@ impl Simulator {
         };
         if ip.dst != host_ip {
             self.stats.drops_host += 1;
+            self.pool.recycle(frame);
             return;
         }
 
@@ -479,29 +510,30 @@ impl Simulator {
                 };
                 let Some(app_idx) = app_idx else {
                     self.stats.drops_host += 1;
+                    self.pool.recycle(frame);
                     return;
                 };
                 self.stats.frames_delivered += 1;
-                let payload = parsed.payload(&frame.bytes).to_vec();
+                let payload = parsed.payload(&frame.bytes);
                 let (src, sport, dport) = (ip.src, udp.src_port, udp.dst_port);
                 self.invoke_app(node, app_idx, move |app, ctx| {
-                    app.on_udp(ctx, src, sport, dport, &payload)
+                    app.on_udp(ctx, src, sport, dport, payload)
                 });
+                self.pool.recycle(frame);
             }
             Some(L4View::Tcp(tcp)) => {
                 self.stats.frames_delivered += 1;
-                let payload = parsed.payload(&frame.bytes).to_vec();
                 let now = self.now;
                 if let NodeState::Host(h) = &mut self.nodes[node.0 as usize] {
-                    h.tcp.on_segment(now, ip.src, &tcp, &payload);
+                    h.tcp.on_segment(now, ip.src, &tcp, parsed.payload(&frame.bytes));
                 }
                 self.flush_tcp(node);
+                self.pool.recycle(frame);
             }
             None => {
-                if ip.protocol == IpProtocol::Udp || ip.protocol == IpProtocol::Tcp {
-                    // Parsed as IP but L4 failed — treat as host drop.
-                }
+                // Parsed as IP but no usable L4 — host drop.
                 self.stats.drops_host += 1;
+                self.pool.recycle(frame);
             }
         }
     }
@@ -514,30 +546,35 @@ impl Simulator {
         F: FnOnce(&mut dyn App, &mut AppCtx<'_>),
     {
         let now = self.now;
-        let mut ops = Vec::new();
+        // Scratch buffer reuse; the freelist depth tracks callback
+        // re-entrancy, which is shallow (delivery → TCP event → app).
+        let mut ops = self.ops_free.pop().unwrap_or_default();
         {
             let NodeState::Host(h) = &mut self.nodes[node.0 as usize] else {
                 panic!("app callback on non-host {node}");
             };
             let HostState { apps, rng, tcp, ip, .. } = h;
-            let Some(app) = apps.get_mut(app_idx) else { return };
-            let mut ctx = AppCtx {
-                now,
-                node,
-                node_ip: *ip,
-                rng,
-                ops: &mut ops,
-                next_conn: &mut tcp.next_conn,
-            };
-            f(app.as_mut(), &mut ctx);
+            if let Some(app) = apps.get_mut(app_idx) {
+                let mut ctx = AppCtx {
+                    now,
+                    node,
+                    node_ip: *ip,
+                    rng,
+                    ops: &mut ops,
+                    next_conn: &mut tcp.next_conn,
+                };
+                f(app.as_mut(), &mut ctx);
+            }
         }
-        self.apply_ops(node, app_idx, ops);
+        self.apply_ops(node, app_idx, &mut ops);
         self.flush_tcp(node);
+        ops.clear();
+        self.ops_free.push(ops);
     }
 
-    fn apply_ops(&mut self, node: NodeId, app_idx: usize, ops: Vec<AppOp>) {
+    fn apply_ops(&mut self, node: NodeId, app_idx: usize, ops: &mut Vec<AppOp>) {
         let now = self.now;
-        for op in ops {
+        for op in ops.drain(..) {
             match op {
                 AppOp::BindUdp { port } => {
                     if let NodeState::Host(h) = &mut self.nodes[node.0 as usize] {
@@ -590,9 +627,10 @@ impl Simulator {
             _ => unreachable!(),
         };
         let dst_node = Topology::node_of_ip(dst).unwrap_or(NodeId(u32::MAX));
-        let mut builder = PacketBuilder::between(node.0, src_ip, dst_node.0, dst, );
+        let mut builder = PacketBuilder::between(node.0, src_ip, dst_node.0, dst);
         builder.ip_id = (self.next_trace_id & 0xFFFF) as u16;
-        let mut frame = Frame::new(builder.udp(src_port, dst_port, payload));
+        let mut frame = self.pool.take();
+        builder.udp_into(src_port, dst_port, payload, &mut frame.bytes);
         frame.meta.trace_id = self.next_trace_id;
         self.next_trace_id += 1;
         self.enqueue(node, self.host_uplink(node, dst), frame);
@@ -676,7 +714,8 @@ impl Simulator {
         let dst_node = Topology::node_of_ip(dst).unwrap_or(NodeId(u32::MAX));
         let mut builder = PacketBuilder::between(node.0, src_ip, dst_node.0, dst);
         builder.ip_id = (self.next_trace_id & 0xFFFF) as u16;
-        let mut frame = Frame::new(builder.tcp(header, payload));
+        let mut frame = self.pool.take();
+        builder.tcp_into(header, payload, &mut frame.bytes);
         frame.meta.trace_id = self.next_trace_id;
         self.next_trace_id += 1;
         self.enqueue(node, self.host_uplink(node, dst), frame);
@@ -951,6 +990,131 @@ mod tests {
             )
         };
         assert_eq!(run(7), run(7));
+    }
+
+    /// Constant-bit-rate UDP source driven by a timer.
+    struct CbrUdp {
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: usize,
+        period: SimDuration,
+        until: SimTime,
+    }
+    impl App for CbrUdp {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            ctx.set_timer(self.period, 1);
+        }
+        fn on_timer(&mut self, ctx: &mut AppCtx<'_>, _id: u64) {
+            if ctx.now >= self.until {
+                return;
+            }
+            ctx.send_udp(6000, self.dst, self.dst_port, vec![0xCB; self.payload]);
+            ctx.set_timer(self.period, 1);
+        }
+        fn as_any(&self) -> &dyn Any { self }
+        fn as_any_mut(&mut self) -> &mut dyn Any { self }
+    }
+
+    /// Determinism at experiment scale: a congested multi-host topology
+    /// (two TCP streams and a CBR flow squeezed through a two-switch
+    /// bottleneck with tiny queues, probes in flight) must replay an
+    /// identical packet-level schedule for an identical seed — including
+    /// every drop, every queue high-water mark, and every pool counter.
+    #[test]
+    fn congested_multi_host_replay_is_identical() {
+        #[derive(Debug, PartialEq)]
+        struct Fingerprint {
+            stats: NetStats,
+            server_bytes: usize,
+            server_eof: Option<SimTime>,
+            bottleneck: QueueStats,
+            pool: PoolStats,
+            probes: usize,
+        }
+        let run = |seed: u64| -> Fingerprint {
+            let mut t = Topology::new();
+            let h1 = t.add_host("h1");
+            let h2 = t.add_host("h2");
+            let s1 = t.add_switch("s1");
+            let s2 = t.add_switch("s2");
+            let h3 = t.add_host("h3");
+            let h4 = t.add_host("h4");
+            let tight = LinkParams { queue_cap_pkts: 8, ..LinkParams::paper_default() };
+            t.add_link(h1, s1, tight);
+            t.add_link(h2, s1, tight);
+            t.add_link(s1, s2, tight); // the bottleneck
+            t.add_link(s2, h3, tight);
+            t.add_link(s2, h4, tight);
+
+            let mut sim = Simulator::new(t, SimConfig { seed, ..SimConfig::default() });
+            let h3_ip = Topology::host_ip(h3);
+            sim.install_app(h1, Box::new(TcpClient { dst: h3_ip, len: 150_000, done_at: None }));
+            sim.install_app(h2, Box::new(TcpClient { dst: h3_ip, len: 150_000, done_at: None }));
+            let server = sim.install_app(h3, Box::new(TcpServer::default()));
+            sim.install_app(
+                h4,
+                Box::new(CbrUdp {
+                    dst: Topology::host_ip(h1),
+                    dst_port: 5001,
+                    payload: 1000,
+                    period: SimDuration::from_millis(2),
+                    until: SimTime::ZERO + SimDuration::from_secs(60),
+                }),
+            );
+            sim.install_app(h1, Box::new(UdpSink::default()));
+            sim.install_app(h1, Box::new(OneProbe { dst: h3_ip }));
+            let probe_sink = sim.install_app(h3, Box::new(ProbeSink::default()));
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+
+            let srv = sim.app::<TcpServer>(h3, server).unwrap();
+            Fingerprint {
+                stats: sim.stats(),
+                server_bytes: srv.bytes,
+                server_eof: srv.eof_at,
+                bottleneck: sim.queue_stats(s1, 2),
+                pool: sim.pool_stats(),
+                probes: sim.app::<ProbeSink>(h3, probe_sink).unwrap().probes.len(),
+            }
+        };
+
+        let a = run(42);
+        let b = run(42);
+        assert!(a.stats.drops_queue_full > 0, "scenario actually congests: {:?}", a.stats);
+        assert_eq!(a.server_bytes, 300_000, "both TCP streams complete");
+        assert_eq!(a, b, "identical seeds must replay identically");
+    }
+
+    /// The frame pool reaches a steady state: once the in-flight
+    /// population is established, a constant-rate flow allocates no new
+    /// frames — every send is served from recycled buffers.
+    #[test]
+    fn pool_stops_allocating_at_steady_state() {
+        let (t, h1, _s1, h2) = line_topo();
+        let mut sim = Simulator::new(t, cfg());
+        sim.install_app(
+            h1,
+            Box::new(CbrUdp {
+                dst: Topology::host_ip(h2),
+                dst_port: 5001,
+                payload: 500,
+                period: SimDuration::from_millis(1),
+                until: SimTime::ZERO + SimDuration::from_secs(10),
+            }),
+        );
+        sim.install_app(h2, Box::new(UdpSink::default()));
+
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let warm = sim.pool_stats();
+        assert!(warm.takes > 1000, "flow is actually running: {warm:?}");
+
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let done = sim.pool_stats();
+        assert!(done.takes > 2 * warm.takes, "flow kept running: {done:?}");
+        assert_eq!(done.allocs, warm.allocs, "steady state allocates nothing new");
+        assert!(
+            done.recycles >= done.takes - done.allocs,
+            "every non-fresh take was fed by a recycle: {done:?}"
+        );
     }
 
     #[test]

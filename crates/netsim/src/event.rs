@@ -12,6 +12,10 @@ use std::collections::BinaryHeap;
 pub type ConnId = u64;
 
 /// Everything that can happen in the simulated world.
+///
+/// Frames travel boxed: an `Event` is copied on every sift of the binary
+/// heap, so the in-flight payload must stay a couple of words. The box also
+/// lets the engine recycle frame buffers through its pool without copying.
 #[derive(Debug)]
 pub enum Event {
     /// A frame finished propagating and arrives at `node` on `port`.
@@ -20,8 +24,8 @@ pub enum Event {
         node: NodeId,
         /// Receiving port on that node.
         port: PortId,
-        /// The frame itself.
-        frame: Frame,
+        /// The frame itself (boxed to keep the event small).
+        frame: Box<Frame>,
     },
     /// `node`'s `port` finished serializing its current frame; the port is
     /// free to start on the next queued frame.
@@ -50,6 +54,12 @@ pub enum Event {
         generation: u64,
     },
 }
+
+// Lock in the compact event layout: heap sifts move `Scheduled` by value,
+// so a regression here (e.g. inlining `Frame` back into `Arrive`) is a
+// silent slowdown of the hottest loop. 32 bytes = discriminant + the
+// largest variant (`TcpTimer`: node + conn + generation).
+const _: () = assert!(std::mem::size_of::<Event>() <= 32, "Event grew past two words per field");
 
 struct Scheduled {
     at: SimTime,

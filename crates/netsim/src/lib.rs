@@ -23,6 +23,7 @@
 pub mod app;
 pub mod engine;
 pub mod event;
+pub mod pool;
 pub mod queue;
 pub mod routing;
 pub mod stats;
@@ -34,6 +35,7 @@ pub mod trace;
 pub use app::{App, AppCtx, AppOp};
 pub use engine::{SimConfig, Simulator};
 pub use event::{ConnId, Event, EventQueue};
+pub use pool::{BufPool, PoolStats};
 pub use queue::{DropTailQueue, QueueStats};
 pub use routing::RouteTable;
 pub use stats::NetStats;

@@ -19,9 +19,12 @@ pub struct QueueStats {
 }
 
 /// A bounded FIFO of frames with drop-tail admission.
+///
+/// Frames are boxed so admission and rejection move one pointer, and so a
+/// rejected frame can be handed back to the caller for buffer recycling.
 #[derive(Debug, Default)]
 pub struct DropTailQueue {
-    frames: VecDeque<Frame>,
+    frames: VecDeque<Box<Frame>>,
     cap_pkts: usize,
     stats: QueueStats,
 }
@@ -33,11 +36,13 @@ impl DropTailQueue {
         DropTailQueue { frames: VecDeque::with_capacity(cap_pkts.min(1024)), cap_pkts, stats: QueueStats::default() }
     }
 
-    /// Try to enqueue; returns `false` (and counts a drop) when full.
-    pub fn enqueue(&mut self, frame: Frame) -> bool {
+    /// Try to enqueue. Returns `None` on success; when the queue is full
+    /// the drop is counted and the frame comes back to the caller (so its
+    /// buffer can be recycled instead of freed).
+    pub fn enqueue(&mut self, frame: Box<Frame>) -> Option<Box<Frame>> {
         if self.frames.len() >= self.cap_pkts {
             self.stats.dropped += 1;
-            return false;
+            return Some(frame);
         }
         self.stats.enqueued += 1;
         self.stats.bytes += frame.wire_len() as u64;
@@ -46,11 +51,11 @@ impl DropTailQueue {
         if depth > self.stats.max_depth_pkts {
             self.stats.max_depth_pkts = depth;
         }
-        true
+        None
     }
 
     /// Remove the head frame.
-    pub fn dequeue(&mut self) -> Option<Frame> {
+    pub fn dequeue(&mut self) -> Option<Box<Frame>> {
         let f = self.frames.pop_front()?;
         self.stats.bytes -= f.wire_len() as u64;
         Some(f)
@@ -82,8 +87,8 @@ mod tests {
     use super::*;
     use bytes::BytesMut;
 
-    fn frame(len: usize) -> Frame {
-        Frame::new(BytesMut::from(vec![0u8; len].as_slice()))
+    fn frame(len: usize) -> Box<Frame> {
+        Box::new(Frame::new(BytesMut::from(vec![0u8; len].as_slice())))
     }
 
     #[test]
@@ -101,9 +106,10 @@ mod tests {
     #[test]
     fn drop_tail_when_full() {
         let mut q = DropTailQueue::new(2);
-        assert!(q.enqueue(frame(10)));
-        assert!(q.enqueue(frame(20)));
-        assert!(!q.enqueue(frame(30)), "third frame dropped");
+        assert!(q.enqueue(frame(10)).is_none());
+        assert!(q.enqueue(frame(20)).is_none());
+        let rejected = q.enqueue(frame(30)).expect("third frame dropped");
+        assert_eq!(rejected.wire_len(), 30, "the rejected frame comes back intact");
         assert_eq!(q.depth_pkts(), 2);
         let s = q.stats();
         assert_eq!(s.enqueued, 2);

@@ -604,7 +604,7 @@ impl TcpHost {
                 c.cwnd += inc;
             }
 
-            if c.fin_sent && c.snd_una >= fin_offset + 1 {
+            if c.fin_sent && c.snd_una > fin_offset {
                 c.fin_acked = true;
             }
 

@@ -31,6 +31,12 @@ impl TrafficClass {
         let Ok(parsed) = ParsedPacket::parse(frame) else {
             return TrafficClass::Other;
         };
+        TrafficClass::of_parsed(&parsed)
+    }
+
+    /// Classify an already-parsed frame (lets the engine reuse its cached
+    /// parse instead of re-walking the headers).
+    pub fn of_parsed(parsed: &ParsedPacket) -> TrafficClass {
         match parsed.l4 {
             Some(L4View::Tcp(t)) => {
                 if t.dst_port == TASK_UDP_PORT || t.src_port == TASK_UDP_PORT {
@@ -76,10 +82,14 @@ impl TrafficAccountant {
 
     /// Count one frame.
     pub fn record(&mut self, frame: &[u8]) {
-        let class = TrafficClass::of(frame);
+        self.record_classified(TrafficClass::of(frame), frame.len());
+    }
+
+    /// Count one frame whose class is already known (cached-parse path).
+    pub fn record_classified(&mut self, class: TrafficClass, wire_len: usize) {
         let c = self.counters.entry(class).or_default();
         c.packets += 1;
-        c.bytes += frame.len() as u64;
+        c.bytes += wire_len as u64;
     }
 
     /// Counters of one class.

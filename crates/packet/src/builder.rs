@@ -40,6 +40,17 @@ impl PacketBuilder {
 
     /// Compose `eth / ipv4 / udp / payload`.
     pub fn udp(&self, src_port: u16, dst_port: u16, payload: &[u8]) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(
+            EthernetHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN + payload.len(),
+        );
+        self.udp_into(src_port, dst_port, payload, &mut buf);
+        buf
+    }
+
+    /// Compose `eth / ipv4 / udp / payload` into a caller-provided buffer
+    /// (cleared first), so pooled frame buffers can be refilled without a
+    /// fresh allocation.
+    pub fn udp_into(&self, src_port: u16, dst_port: u16, payload: &[u8], buf: &mut BytesMut) {
         let udp = UdpHeader::new(src_port, dst_port, payload.len());
         let mut ip = Ipv4Header::new(
             self.ip_src,
@@ -50,14 +61,12 @@ impl PacketBuilder {
         ip.identification = self.ip_id;
         let eth = EthernetHeader::ipv4(self.eth_src, self.eth_dst);
 
-        let mut buf = BytesMut::with_capacity(
-            EthernetHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN + payload.len(),
-        );
-        eth.encode(&mut buf);
-        ip.encode(&mut buf);
-        udp.encode(&mut buf);
+        buf.clear();
+        buf.reserve(EthernetHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN + payload.len());
+        eth.encode(buf);
+        ip.encode(buf);
+        udp.encode(buf);
         buf.extend_from_slice(payload);
-        buf
     }
 
     /// Compose `eth / ipv4 / udp / encodable-payload` (avoids an
@@ -86,6 +95,16 @@ impl PacketBuilder {
 
     /// Compose `eth / ipv4 / tcp / payload`.
     pub fn tcp(&self, tcp: TcpHeader, payload: &[u8]) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(
+            EthernetHeader::LEN + Ipv4Header::LEN + TcpHeader::LEN + payload.len(),
+        );
+        self.tcp_into(tcp, payload, &mut buf);
+        buf
+    }
+
+    /// Compose `eth / ipv4 / tcp / payload` into a caller-provided buffer
+    /// (cleared first); see [`PacketBuilder::udp_into`].
+    pub fn tcp_into(&self, tcp: TcpHeader, payload: &[u8], buf: &mut BytesMut) {
         let mut ip = Ipv4Header::new(
             self.ip_src,
             self.ip_dst,
@@ -95,14 +114,12 @@ impl PacketBuilder {
         ip.identification = self.ip_id;
         let eth = EthernetHeader::ipv4(self.eth_src, self.eth_dst);
 
-        let mut buf = BytesMut::with_capacity(
-            EthernetHeader::LEN + Ipv4Header::LEN + TcpHeader::LEN + payload.len(),
-        );
-        eth.encode(&mut buf);
-        ip.encode(&mut buf);
-        tcp.encode(&mut buf);
+        buf.clear();
+        buf.reserve(EthernetHeader::LEN + Ipv4Header::LEN + TcpHeader::LEN + payload.len());
+        eth.encode(buf);
+        ip.encode(buf);
+        tcp.encode(buf);
         buf.extend_from_slice(payload);
-        buf
     }
 }
 
@@ -164,5 +181,27 @@ mod tests {
     fn frame_length_is_sum_of_parts() {
         let frame = builder().udp(1, 2, &[0u8; 100]);
         assert_eq!(frame.len(), 14 + 20 + 8 + 100);
+    }
+
+    #[test]
+    fn into_variants_reuse_a_buffer_without_residue() {
+        let mut buf = BytesMut::new();
+        builder().udp_into(1, 2, &[0xAA; 300], &mut buf);
+        assert_eq!(buf, builder().udp(1, 2, &[0xAA; 300]));
+        let cap = buf.capacity();
+
+        // Refill with a smaller TCP segment: same bytes as the allocating
+        // path, no leftovers from the previous (longer) frame, no realloc.
+        let tcp = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            seq: 9,
+            ack: 3,
+            flags: TcpFlags::ACK,
+            window: 1000,
+        };
+        builder().tcp_into(tcp, b"hi", &mut buf);
+        assert_eq!(buf, builder().tcp(tcp, b"hi"));
+        assert_eq!(buf.capacity(), cap, "refill reuses the allocation");
     }
 }

@@ -142,6 +142,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the subject
     fn flag_constants() {
         assert!(TcpFlags::SYN.syn && !TcpFlags::SYN.ack);
         assert!(TcpFlags::SYN_ACK.syn && TcpFlags::SYN_ACK.ack);

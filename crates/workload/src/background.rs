@@ -63,7 +63,7 @@ impl BackgroundScenario {
         seed: u64,
     ) -> Vec<BgFlow> {
         assert!(nodes.len() >= 2, "need at least two nodes for background flows");
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBAC6_0000_F10A_75u64);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x00BA_C600_00F1_0A75_u64);
         let mut flows = Vec::new();
         const S: u64 = 1_000_000_000;
 

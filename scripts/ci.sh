@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo CI gate. Run from the repository root.
+#
+#   tier 1  — release build + root-package tests (the seed contract)
+#   tier 2  — full workspace tests
+#   lints   — clippy, warnings are errors
+#   benches — criterion harness in --test mode (one-iteration smoke, no
+#             timing; catches bench bit-rot without the cost of a run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + root tests"
+cargo build --release
+cargo test -q
+
+echo "== tier 2: workspace tests"
+cargo test --workspace --release -q
+
+echo "== clippy (deny warnings)"
+cargo clippy --workspace --release --all-targets -- -D warnings
+
+echo "== benches (smoke)"
+cargo bench -p int-bench -- --test
+
+echo "CI OK"

@@ -100,7 +100,7 @@ proptest! {
         let mut dequeued = 0u64;
         for push in ops {
             if push {
-                q.enqueue(int_edge_sched::dataplane::Frame::new(bytes::BytesMut::from(&[0u8; 10][..])));
+                q.enqueue(Box::new(int_edge_sched::dataplane::Frame::new(bytes::BytesMut::from(&[0u8; 10][..]))));
             } else if q.dequeue().is_some() {
                 dequeued += 1;
             }

@@ -1,0 +1,307 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `Throughput`, `BenchmarkId`, and the `criterion_group!`
+//! / `criterion_main!` macros — with a simple median-of-samples timer
+//! instead of upstream's full statistical machinery. Results are printed
+//! one line per benchmark:
+//!
+//! ```text
+//! bench: sim_throughput/cbr_5s_one_switch  median 61.21 ms/iter  (thrpt 130694 elem/s)
+//! ```
+//!
+//! CLI: a bare positional argument filters benchmarks by substring and
+//! `--test` runs each benchmark body exactly once (smoke mode), matching
+//! `cargo bench -- --test`. `CRITERION_SAMPLES` overrides the sample count.
+
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by this stub's timer).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    /// Median nanoseconds per iteration from the last `iter*` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm up and size the per-sample iteration count so one sample
+        // costs ~25ms (bounded below by a single iteration).
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let once_ns = warm.elapsed().as_nanos().max(1) as f64;
+        let iters = ((25_000_000.0 / once_ns) as u64).clamp(1, 1_000_000);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = per_iter[per_iter.len() / 2];
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration; only the
+    /// routine is inside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let input = setup();
+        let warm = Instant::now();
+        std::hint::black_box(routine(input));
+        let once_ns = warm.elapsed().as_nanos().max(1) as f64;
+        let iters = ((25_000_000.0 / once_ns) as u64).clamp(1, 1_000_000) as usize;
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// Top-level harness state (subset of `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(7);
+        let mut c = Criterion { filter: None, test_mode: false, samples };
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => c.filter = Some(a.to_string()),
+            }
+        }
+        c
+    }
+}
+
+impl Criterion {
+    fn should_run(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.should_run(name) {
+            return;
+        }
+        let mut b = Bencher { test_mode: self.test_mode, samples: self.samples, last_ns: 0.0 };
+        f(&mut b);
+        if self.test_mode {
+            println!("bench: {name}  ok (test mode)");
+            return;
+        }
+        let ns = b.last_ns;
+        let time = if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.2} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.2} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        };
+        let thrpt = match throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  (thrpt {:.0} elem/s)", n as f64 * 1e9 / ns)
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  (thrpt {:.2} MiB/s)", n as f64 * 1e9 / ns / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("bench: {name}  median {time}/iter{thrpt}  [{ns:.0} ns]");
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, None, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Set the per-iteration throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; the stub sizes samples internally.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stub sizes measurement internally.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.c.run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.c.run_one(&full, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { test_mode: false, samples: 3, last_ns: 0.0 };
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.last_ns > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut count = 0;
+        let mut b = Bencher { test_mode: true, samples: 3, last_ns: 0.0 };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("udp", 64).id, "udp/64");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! Instead of upstream serde's visitor architecture, this stub serializes
+//! through an owned [`Value`] tree (the subset of the JSON data model the
+//! workspace needs). `serde_json` renders/parses that tree; `serde_derive`
+//! generates `Serialize`/`Deserialize` impls with upstream-compatible shapes
+//! (structs → objects in declaration order, newtypes transparent, enums
+//! externally tagged), so the JSON written by this stub matches what real
+//! serde+serde_json would emit for these types.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+///
+/// Numbers keep their original flavour (`U64`/`I64`/`F64`) so 64-bit seeds
+/// and counters round-trip without precision loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved (struct declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a path-less message, enough for test diagnostics.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error describing an unexpected value shape.
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError(format!("expected {expected}, found {kind}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Convert a value into the [`Value`] tree.
+pub trait Serialize {
+    /// Produce the value tree for `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Rebuild a value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `self` out of the tree.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Compatibility module mirroring `serde::de`.
+pub mod de {
+    /// Marker for types deserializable without borrowing input (all types
+    /// in this stub; blanket-implemented).
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    ref other => return Err(DeError::unexpected("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n)
+                        .map_err(|_| DeError(format!("integer {n} too large")))?,
+                    ref other => return Err(DeError::unexpected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!(
+                    "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            ref other => Err(DeError::unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::unexpected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::unexpected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::deserialize(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$(stringify!($t)),+].len();
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($t::deserialize(&items[$n])?,)+))
+                    }
+                    other => Err(DeError::unexpected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::unexpected("array", other)),
+        }
+    }
+}
+
+fn key_to_string(v: &Value) -> Result<String, DeError> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        other => Err(DeError::unexpected("string-like map key", other)),
+    }
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    // Try the string form first (unit-enum and String keys), then the
+    // numeric re-interpretations serde_json uses for integer keys.
+    let as_str = Value::Str(s.to_owned());
+    if let Ok(k) = K::deserialize(&as_str) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize(&Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize(&Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError(format!("cannot reconstruct map key from {s:?}")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(&k.serialize())
+                        .expect("map key must serialize to a string or integer");
+                    (key, v.serialize())
+                })
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((key_from_string::<K>(k)?, V::deserialize(val)?)))
+                .collect(),
+            other => Err(DeError::unexpected("object", other)),
+        }
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for std::net::Ipv4Addr {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => {
+                s.parse().map_err(|_| DeError(format!("invalid IPv4 address {s:?}")))
+            }
+            other => Err(DeError::unexpected("IPv4 address string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Support functions used by serde_derive-generated code (not public API)
+// ---------------------------------------------------------------------------
+
+/// Extract and deserialize a named struct field.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(v: &Value, ty: &str, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(field) => T::deserialize(field)
+            .map_err(|e| DeError(format!("{ty}.{name}: {}", e.0))),
+        None => Err(DeError(format!("{ty}: missing field {name:?}"))),
+    }
+}
+
+/// Split an externally-tagged enum object into (variant name, payload).
+#[doc(hidden)]
+pub fn __variant<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, &'v Value), DeError> {
+    match v {
+        Value::Object(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), &entries[0].1))
+        }
+        other => Err(DeError(format!(
+            "{ty}: expected single-key variant object, found {other:?}"
+        ))),
+    }
+}
+
+/// Borrow a fixed-length array payload (tuple struct / tuple variant).
+#[doc(hidden)]
+pub fn __seq<'v>(v: &'v Value, ty: &str, n: usize) -> Result<&'v [Value], DeError> {
+    match v {
+        Value::Array(items) if items.len() == n => Ok(items),
+        other => Err(DeError(format!("{ty}: expected {n}-element array, found {other:?}"))),
+    }
+}
