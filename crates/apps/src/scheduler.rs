@@ -6,7 +6,7 @@
 //! baselines ignore it.
 
 use int_core::rank::StaticDistances;
-use int_core::{CoreConfig, Policy, SchedulerCore};
+use int_core::{CoreConfig, ExcludeReason, Policy, SchedulerCore};
 use int_netsim::{App, AppCtx};
 use int_packet::msgs::ControlMsg;
 use int_packet::wire::{WireDecode, WireEncode};
@@ -20,6 +20,8 @@ pub struct SchedulerApp {
     policy: Policy,
     queries_served: u64,
     probes_received: u64,
+    exclusions: u64,
+    last_excluded: Vec<(u32, ExcludeReason)>,
 }
 
 impl SchedulerApp {
@@ -36,6 +38,8 @@ impl SchedulerApp {
             policy,
             queries_served: 0,
             probes_received: 0,
+            exclusions: 0,
+            last_excluded: Vec::new(),
         }
     }
 
@@ -65,6 +69,19 @@ impl SchedulerApp {
     /// Probes ingested.
     pub fn probes_received(&self) -> u64 {
         self.probes_received
+    }
+
+    /// Total candidate exclusions across all queries served (a candidate
+    /// excluded in each of N queries counts N times).
+    pub fn exclusions(&self) -> u64 {
+        self.exclusions
+    }
+
+    /// Candidates excluded from the most recent query, with reasons —
+    /// hosts the scheduler currently presumes unreachable (origin silence)
+    /// or whose telemetry was evicted (no fresh path).
+    pub fn last_excluded(&self) -> &[(u32, ExcludeReason)] {
+        &self.last_excluded
     }
 }
 
@@ -101,8 +118,12 @@ impl App for SchedulerApp {
                 let ControlMsg::SchedRequest { requester, job_id, .. } = msg else { return };
                 self.queries_served += 1;
 
-                let ranked = self.core.rank_with(requester, self.policy, ctx.now.as_nanos());
-                let candidates = ranked
+                let outcome =
+                    self.core.rank_detailed_with(requester, self.policy, ctx.now.as_nanos());
+                self.exclusions += outcome.excluded.len() as u64;
+                self.last_excluded = outcome.excluded;
+                let candidates = outcome
+                    .ranked
                     .into_iter()
                     .map(|r| int_packet::msgs::Candidate {
                         node: r.host,

@@ -25,6 +25,26 @@ pub struct OriginStats {
     pub last_rx_ns: u64,
 }
 
+impl OriginStats {
+    /// Fold one accepted probe into the sequence accounting. Shared by the
+    /// direct and relayed ingest paths so loss/reordering is counted over
+    /// the origin's single sequence stream regardless of which terminal a
+    /// probe reached.
+    fn note_probe(&mut self, seq: u64, rx_ns: u64) {
+        self.received += 1;
+        self.last_rx_ns = rx_ns;
+        if self.received == 1 {
+            self.max_seq = seq;
+        } else if seq > self.max_seq {
+            // Gap: sequences between max_seq+1 and seq-1 never arrived.
+            self.lost += seq - self.max_seq - 1;
+            self.max_seq = seq;
+        } else {
+            self.reordered += 1;
+        }
+    }
+}
+
 /// The INT collector.
 #[derive(Debug, Clone, Default)]
 pub struct IntCollector {
@@ -91,32 +111,27 @@ impl IntCollector {
     /// the scheduler) and was forwarded here (all-pairs probing mode).
     /// `rx_ts_ns` is the terminal's receive timestamp.
     pub fn ingest_relayed(&mut self, probe: &ProbePayload, terminal: u32, rx_ts_ns: u64) {
-        let st = self.origins.entry(probe.origin_node).or_default();
-        st.received += 1;
-        st.last_rx_ns = rx_ts_ns;
-        if probe.seq > st.max_seq {
-            st.max_seq = probe.seq;
-        }
+        self.origins.entry(probe.origin_node).or_default().note_probe(probe.seq, rx_ts_ns);
         self.map.register_host(terminal);
         self.map.apply_probe(probe, terminal, rx_ts_ns);
     }
 
     /// Ingest an already-decoded probe.
     pub fn ingest(&mut self, probe: &ProbePayload, now_ns: u64) {
-        let st = self.origins.entry(probe.origin_node).or_default();
-        st.received += 1;
-        st.last_rx_ns = now_ns;
-        if st.received == 1 {
-            st.max_seq = probe.seq;
-        } else if probe.seq > st.max_seq {
-            // Gap: sequences between max_seq+1 and seq-1 never arrived.
-            st.lost += probe.seq - st.max_seq - 1;
-            st.max_seq = probe.seq;
-        } else {
-            st.reordered += 1;
-        }
-
+        self.origins.entry(probe.origin_node).or_default().note_probe(probe.seq, now_ns);
         self.map.apply_probe(probe, self.scheduler_host, now_ns);
+    }
+
+    /// Origins presumed unreachable: they sent probes before but nothing
+    /// within `horizon_ns` of `now_ns` (deterministic order).
+    pub fn silent_origins(&self, now_ns: u64, horizon_ns: u64) -> Vec<u32> {
+        self.origins
+            .iter()
+            .filter(|(_, st)| {
+                st.received > 0 && now_ns.saturating_sub(st.last_rx_ns) > horizon_ns
+            })
+            .map(|(&o, _)| o)
+            .collect()
     }
 }
 
@@ -185,5 +200,77 @@ mod tests {
     fn scheduler_host_pre_registered() {
         let c = IntCollector::new(6);
         assert!(c.map().hosts().any(|h| h == 6));
+    }
+
+    #[test]
+    fn duplicate_seq_counts_as_reordered_not_lost() {
+        let mut c = IntCollector::new(6);
+        c.ingest(&probe(1, 5), 1);
+        c.ingest(&probe(1, 5), 2);
+        let st = c.origin_stats(1);
+        assert_eq!(st.received, 2);
+        assert_eq!(st.lost, 0, "a duplicate is not a gap");
+        assert_eq!(st.reordered, 1);
+        assert_eq!(st.max_seq, 5);
+    }
+
+    #[test]
+    fn seq_regression_after_gap_does_not_inflate_loss() {
+        let mut c = IntCollector::new(6);
+        c.ingest(&probe(1, 0), 1);
+        c.ingest(&probe(1, 10), 2); // gap of 9
+        c.ingest(&probe(1, 3), 3); // one of the "lost" probes shows up late
+        let st = c.origin_stats(1);
+        assert_eq!(st.lost, 9, "late arrival does not re-count the gap");
+        assert_eq!(st.reordered, 1);
+        assert_eq!(st.max_seq, 10);
+    }
+
+    /// Regression: the relayed path used to skip loss/reordering
+    /// accounting entirely. An identical probe stream must produce
+    /// identical `OriginStats` whether it arrives directly or via a relay
+    /// terminal.
+    #[test]
+    fn relayed_and_direct_paths_account_identically() {
+        let seqs = [0u64, 1, 5, 3, 6, 6, 10];
+        let mut direct = IntCollector::new(6);
+        let mut relayed = IntCollector::new(6);
+        for (i, &s) in seqs.iter().enumerate() {
+            let rx = (i as u64 + 1) * 1_000_000;
+            direct.ingest(&probe(1, s), rx);
+            relayed.ingest_relayed(&probe(1, s), 2, rx);
+        }
+        let d = direct.origin_stats(1);
+        let r = relayed.origin_stats(1);
+        assert_eq!(d, r, "relayed accounting must match direct accounting");
+        assert_eq!(d.lost, 3 + 3, "gaps 2..=4 and 7..=9");
+        assert_eq!(d.reordered, 2, "the late 3 and the duplicate 6");
+    }
+
+    /// Relayed probes keep the first-probe special case: a large initial
+    /// sequence (collector restart, origin long-lived) is a baseline, not
+    /// a thousand lost probes.
+    #[test]
+    fn relayed_first_probe_sets_baseline_without_loss() {
+        let mut c = IntCollector::new(6);
+        c.ingest_relayed(&probe(1, 1000), 2, 1);
+        let st = c.origin_stats(1);
+        assert_eq!(st.lost, 0);
+        assert_eq!(st.max_seq, 1000);
+    }
+
+    #[test]
+    fn silent_origins_detected_and_recover() {
+        let ms = 1_000_000u64;
+        let mut c = IntCollector::new(6);
+        c.ingest(&probe(1, 0), 100 * ms);
+        c.ingest(&probe(2, 0), 3_000 * ms);
+        assert!(c.silent_origins(3_100 * ms, 1_000 * ms).contains(&1));
+        assert!(!c.silent_origins(3_100 * ms, 1_000 * ms).contains(&2));
+        // Origin 1 speaks again: silence clears.
+        c.ingest(&probe(1, 1), 3_200 * ms);
+        assert!(c.silent_origins(3_300 * ms, 1_000 * ms).is_empty());
+        // An origin never heard from is not "silent" — it is unknown.
+        assert!(!c.silent_origins(u64::MAX, 0).contains(&99));
     }
 }

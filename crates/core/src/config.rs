@@ -63,6 +63,15 @@ pub struct CoreConfig {
     /// the max over this window restores the paper's per-interval-max
     /// semantics at the collector.
     pub qlen_window_ns: u64,
+    /// Links not refreshed by any probe within this horizon are *evicted*
+    /// from the learned map (not merely read as stale): the scheduler must
+    /// forget infrastructure that stopped carrying probes, or it keeps
+    /// ranking hosts over ghost telemetry after a failure.
+    pub eviction_horizon_ns: u64,
+    /// An origin that sent probes before but has been silent this long is
+    /// presumed unreachable and excluded from INT-based rankings until it
+    /// is heard from again.
+    pub origin_silence_ns: u64,
 }
 
 impl Default for CoreConfig {
@@ -76,6 +85,8 @@ impl Default for CoreConfig {
             direction_fallback: DirectionFallback::ReverseOk,
             hop_signal: HopSignal::MaxQueue,
             qlen_window_ns: 500_000_000,
+            eviction_horizon_ns: 10_000_000_000, // 10 s ≈ 100 default intervals
+            origin_silence_ns: 3_000_000_000,    // 3 s ≈ 30 default intervals
         }
     }
 }

@@ -27,6 +27,10 @@ pub struct CoverageReport {
     /// (from, to, classification) for every directed link with any data in
     /// either direction. Deterministic order.
     pub links: Vec<(NetNode, NetNode, LinkCoverage)>,
+    /// Directed links *evicted* from the map by aging and not re-learned
+    /// since, with their eviction times — infrastructure that went dark,
+    /// as opposed to merely stale. Deterministic order.
+    pub dead: Vec<(NetNode, NetNode, u64)>,
 }
 
 impl CoverageReport {
@@ -54,7 +58,7 @@ impl CoverageReport {
         }
         links.extend(reverse_only);
         links.sort_by_key(|(a, b, _)| (*a, *b));
-        CoverageReport { links }
+        CoverageReport { links, dead: map.dead_edges().collect() }
     }
 
     /// Count of links in each class: `(fresh, stale, reverse_only)`.
@@ -144,6 +148,28 @@ mod tests {
     fn empty_map_report() {
         let report = CoverageReport::build(&NetworkMap::new(), &CoreConfig::default(), 0);
         assert!(report.links.is_empty());
+        assert!(report.dead.is_empty());
         assert_eq!(report.fresh_fraction(), 0.0);
+    }
+
+    /// Links evicted by aging show up as dead in the report, and leave it
+    /// once a probe re-learns them.
+    #[test]
+    fn dead_links_reported_until_relearned() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&probe(1, &[10, 11]), 6, 32_000_000);
+        let cfg = CoreConfig::default();
+        let later = 32_000_000 + cfg.eviction_horizon_ns + 1;
+        m.evict_stale(later, cfg.eviction_horizon_ns);
+
+        let report = CoverageReport::build(&m, &cfg, later);
+        assert!(report.links.is_empty(), "evicted links are not merely stale");
+        assert_eq!(report.dead.len(), 3, "h1→s10, s10→s11, s11→h6 went dark");
+        assert!(report.dead.iter().all(|(_, _, at)| *at == later));
+
+        m.apply_probe(&probe(1, &[10, 11]), 6, later + 1);
+        let report = CoverageReport::build(&m, &cfg, later + 2);
+        assert!(report.dead.is_empty(), "recovery clears the dead list");
+        assert_eq!(report.counts().0, 3, "and the links are fresh again");
     }
 }

@@ -43,5 +43,5 @@ pub use collector::IntCollector;
 pub use config::CoreConfig;
 pub use estimate::{BandwidthEstimator, DelayEstimator};
 pub use map::{EdgeState, NetNode, NetworkMap};
-pub use rank::{Policy, RankedServer};
+pub use rank::{ExcludeReason, Policy, RankOutcome, RankedServer};
 pub use sched::SchedulerCore;

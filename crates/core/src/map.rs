@@ -70,18 +70,58 @@ impl EdgeState {
     }
 }
 
+/// Hard backstop on per-edge history length, far above anything the
+/// timestamp window retains in practice.
+const QLEN_HISTORY_HARD_CAP: usize = 1024;
+
 /// The learned network graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetworkMap {
     edges: BTreeMap<(NetNode, NetNode), EdgeState>,
     hosts: BTreeSet<u32>,
     switches: BTreeSet<u32>,
+    /// Edges evicted for not being refreshed within the aging horizon,
+    /// keyed to their eviction time — the "newly dead" set surfaced by the
+    /// coverage report. Cleared per edge when a probe re-learns it.
+    evicted: BTreeMap<(NetNode, NetNode), u64>,
+    /// EWMA weight (numerator of x/8) applied to new delay samples;
+    /// mirrors [`CoreConfig::delay_ewma_new_eighths`].
+    delay_ewma_new_eighths: u32,
+    /// Retention horizon for per-edge queue-harvest history; mirrors
+    /// [`CoreConfig::qlen_window_ns`].
+    qlen_retention_ns: u64,
+}
+
+impl Default for NetworkMap {
+    fn default() -> Self {
+        let defaults = CoreConfig::default();
+        NetworkMap {
+            edges: BTreeMap::new(),
+            hosts: BTreeSet::new(),
+            switches: BTreeSet::new(),
+            evicted: BTreeMap::new(),
+            delay_ewma_new_eighths: defaults.delay_ewma_new_eighths,
+            qlen_retention_ns: defaults.qlen_window_ns,
+        }
+    }
 }
 
 impl NetworkMap {
     /// An empty map.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Set the delay-EWMA weight (numerator of x/8, clamped to `1..=8`).
+    /// 8 = trust only the newest sample; 1 = heavy smoothing.
+    pub fn set_delay_ewma(&mut self, new_eighths: u32) {
+        self.delay_ewma_new_eighths = new_eighths.clamp(1, 8);
+    }
+
+    /// Set the retention horizon for queue-harvest history. Harvests older
+    /// than this relative to the newest sample are pruned.
+    pub fn set_qlen_retention(&mut self, window_ns: u64) {
+        self.qlen_retention_ns = window_ns;
     }
 
     /// Known edge hosts (probe origins and the scheduler).
@@ -155,32 +195,75 @@ impl NetworkMap {
     }
 
     fn update_delay(&mut self, from: NetNode, to: NetNode, sample_ns: u64, now_ns: u64) {
+        self.evicted.remove(&(from, to));
+        let w = self.delay_ewma_new_eighths as u64;
         let e = self.edges.entry((from, to)).or_insert_with(|| EdgeState::new(now_ns));
         e.last_delay_ns = sample_ns;
         e.delay_ns = if e.samples == 0 {
             sample_ns
         } else {
-            // EWMA with weight CoreConfig::delay_ewma_new_eighths/8 applied
-            // at query time would need the config; a fixed 2/8 here matches
-            // the default and keeps the map self-contained.
-            (6 * e.delay_ns + 2 * sample_ns) / 8
+            ((8 - w) * e.delay_ns + w * sample_ns) / 8
         };
         e.samples += 1;
         e.updated_ns = now_ns;
     }
 
     fn update_qlen(&mut self, from: NetNode, to: NetNode, max_q: u32, inst_q: u32, now_ns: u64) {
+        self.evicted.remove(&(from, to));
+        let retention = self.qlen_retention_ns;
         let e = self.edges.entry((from, to)).or_insert_with(|| EdgeState::new(now_ns));
         e.max_qlen_pkts = max_q;
         e.qlen_at_probe_pkts = inst_q;
         e.qlen_updated_ns = now_ns;
         e.updated_ns = now_ns;
         e.qlen_history.push((now_ns, max_q));
-        // Bound memory: keep the most recent 32 harvests.
-        if e.qlen_history.len() > 32 {
-            let excess = e.qlen_history.len() - 32;
+        // Prune by age against the configured window (harvests outside it
+        // can never contribute to the windowed max), with a hard cap as a
+        // memory backstop for pathological window/interval combinations.
+        let cutoff = now_ns.saturating_sub(retention);
+        e.qlen_history.retain(|(ts, _)| *ts >= cutoff);
+        if e.qlen_history.len() > QLEN_HISTORY_HARD_CAP {
+            let excess = e.qlen_history.len() - QLEN_HISTORY_HARD_CAP;
             e.qlen_history.drain(..excess);
         }
+    }
+
+    /// Evict every edge not refreshed within `horizon_ns` of `now_ns`, and
+    /// forget switches left with no edges. Evicted edges are remembered as
+    /// *dead* (see [`NetworkMap::dead_edges`]) until a probe re-learns
+    /// them. Returns the edges evicted by this call, in deterministic
+    /// order.
+    pub fn evict_stale(&mut self, now_ns: u64, horizon_ns: u64) -> Vec<(NetNode, NetNode)> {
+        let dead: Vec<(NetNode, NetNode)> = self
+            .edges
+            .iter()
+            .filter(|(_, e)| now_ns.saturating_sub(e.updated_ns) > horizon_ns)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in &dead {
+            self.edges.remove(key);
+            self.evicted.insert(*key, now_ns);
+        }
+        if !dead.is_empty() {
+            // A switch is only known through its edges; drop the ones that
+            // no longer appear on any.
+            let mut live = BTreeSet::new();
+            for (a, b) in self.edges.keys() {
+                for n in [a, b] {
+                    if let NetNode::Switch(s) = n {
+                        live.insert(*s);
+                    }
+                }
+            }
+            self.switches = live;
+        }
+        dead
+    }
+
+    /// Edges evicted by aging and not re-learned since, with their
+    /// eviction times (deterministic order).
+    pub fn dead_edges(&self) -> impl Iterator<Item = (NetNode, NetNode, u64)> + '_ {
+        self.evicted.iter().map(|((a, b), at)| (*a, *b, *at))
     }
 
     /// Effective delay of a directed edge for estimation, honouring the
@@ -366,6 +449,130 @@ mod tests {
         // EWMA: (6·10 + 2·20)/8 = 12.5 ms
         assert_eq!(e.delay_ns, 12_500_000);
         assert_eq!(e.samples, 2);
+    }
+
+    /// Regression (the map used to hardcode a 2/8 weight): with the knob
+    /// at 8/8 the smoothed delay must equal the newest sample exactly.
+    #[test]
+    fn delay_ewma_weight_is_configurable() {
+        let mut m = NetworkMap::new();
+        m.set_delay_ewma(8);
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        let mut p = ProbePayload::new(1, 2, 0);
+        p.int.push(rec(10, 0, 20, 120));
+        p.int.push(rec(11, 0, 10, 130));
+        m.apply_probe(&p, 6, 140_000_000);
+        let e = m.edge(NetNode::Host(1), NetNode::Switch(10)).unwrap();
+        assert_eq!(e.delay_ns, 20_000_000, "8/8 tracks the newest sample");
+
+        // Heavy smoothing at 1/8: (7·10 + 1·20)/8 = 11.25 ms.
+        let mut m = NetworkMap::new();
+        m.set_delay_ewma(1);
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        let mut p = ProbePayload::new(1, 2, 0);
+        p.int.push(rec(10, 0, 20, 120));
+        p.int.push(rec(11, 0, 10, 130));
+        m.apply_probe(&p, 6, 140_000_000);
+        let e = m.edge(NetNode::Host(1), NetNode::Switch(10)).unwrap();
+        assert_eq!(e.delay_ns, 11_250_000);
+
+        // Out-of-range weights clamp instead of zeroing the delay.
+        let mut m = NetworkMap::new();
+        m.set_delay_ewma(0);
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        let e = m.edge(NetNode::Host(1), NetNode::Switch(10)).unwrap();
+        assert_eq!(e.delay_ns, 10_000_000);
+    }
+
+    /// Regression (history used to be capped at the 32 most recent
+    /// entries): a window wider than 32 probing intervals must still see
+    /// an early congestion spike inside the window.
+    #[test]
+    fn qlen_history_prunes_by_window_not_by_count() {
+        let ms = 1_000_000u64;
+        let mut m = NetworkMap::new();
+        m.set_qlen_retention(10_000 * ms); // 10 s window, 100 ms samples
+        let spike_at = 100 * ms;
+
+        // Sample 0 carries the spike (q=50); 39 quiet samples follow, so a
+        // count-of-32 cap would have dropped the spike by the end.
+        for i in 0..40u64 {
+            let mut p = ProbePayload::new(1, i, 0);
+            let q = if i == 0 { 50 } else { 0 };
+            p.int.push(rec(10, q, 10, 11));
+            p.int.push(rec(11, 0, 10, 22));
+            m.apply_probe(&p, 6, spike_at + i * 100 * ms);
+        }
+        let e = m.edge(NetNode::Switch(10), NetNode::Switch(11)).unwrap();
+        assert_eq!(e.qlen_history.len(), 40, "window keeps everything inside it");
+        let now = spike_at + 39 * 100 * ms;
+        assert_eq!(
+            e.windowed_max_qlen(now, 10_000 * ms),
+            50,
+            "the early spike is still visible inside the configured window"
+        );
+
+        // And samples that age out of the window are gone.
+        let mut p = ProbePayload::new(1, 40, 0);
+        p.int.push(rec(10, 0, 10, 11));
+        p.int.push(rec(11, 0, 10, 22));
+        m.apply_probe(&p, 6, spike_at + 10_001 * ms);
+        let e = m.edge(NetNode::Switch(10), NetNode::Switch(11)).unwrap();
+        assert!(
+            e.qlen_history.iter().all(|(ts, _)| *ts >= 101 * ms),
+            "aged-out harvests pruned: {:?}",
+            e.qlen_history
+        );
+    }
+
+    #[test]
+    fn eviction_removes_unrefreshed_edges_and_remembers_them() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        assert_eq!(m.edge_count(), 3);
+
+        // Within the horizon nothing happens.
+        assert!(m.evict_stale(32_000_000 + 1_000_000, 10_000_000_000).is_empty());
+        assert_eq!(m.edge_count(), 3);
+
+        // Past the horizon everything learned from that probe dies.
+        let later = 32_000_000 + 10_000_000_001;
+        let dead = m.evict_stale(later, 10_000_000_000);
+        assert_eq!(dead.len(), 3);
+        assert_eq!(m.edge_count(), 0);
+        assert_eq!(m.switches().count(), 0, "switches with no edges are forgotten");
+        assert_eq!(m.dead_edges().count(), 3);
+        assert!(m.dead_edges().all(|(_, _, at)| at == later));
+        // Hosts stay registered: they are candidates, not telemetry.
+        assert_eq!(m.hosts().collect::<Vec<_>>(), vec![1, 6]);
+    }
+
+    #[test]
+    fn relearned_edge_leaves_the_dead_set() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        let later = 32_000_000 + 10_000_000_001;
+        m.evict_stale(later, 10_000_000_000);
+        assert_eq!(m.dead_edges().count(), 3);
+
+        // The same path comes back: re-learning clears its dead markers.
+        m.apply_probe(&two_hop_probe(), 6, later + 1);
+        assert_eq!(m.dead_edges().count(), 0);
+        assert_eq!(m.edge_count(), 3);
+        assert_eq!(m.switches().collect::<Vec<_>>(), vec![10, 11]);
+    }
+
+    #[test]
+    fn eviction_disconnects_paths() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        let cfg = CoreConfig::default();
+        assert!(m.path(&cfg, NetNode::Host(6), NetNode::Host(1)).is_some());
+        m.evict_stale(32_000_000 + 10_000_000_001, 10_000_000_000);
+        assert!(
+            m.path(&cfg, NetNode::Host(6), NetNode::Host(1)).is_none(),
+            "a dead path must not be traversable"
+        );
     }
 
     #[test]

@@ -49,6 +49,27 @@ pub struct RankedServer {
     pub est_bandwidth_bps: u64,
 }
 
+/// Why a candidate was left out of an INT-based ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExcludeReason {
+    /// The learned map has no live path to the host (its telemetry was
+    /// evicted, or it was never probed while others were).
+    NoFreshPath,
+    /// The host originated probes before but has been silent beyond the
+    /// configured horizon — presumed unreachable.
+    OriginSilent,
+}
+
+/// The result of a failure-aware ranking: the usable candidates, ranked
+/// best first, plus everyone excluded and why.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankOutcome {
+    /// Usable candidates, best first.
+    pub ranked: Vec<RankedServer>,
+    /// Excluded candidates with the reason, in host-id order.
+    pub excluded: Vec<(u32, ExcludeReason)>,
+}
+
 /// Static information the baselines need: hop counts between hosts,
 /// computed ahead of time exactly as the paper's Nearest policy assumes.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -108,23 +129,78 @@ impl Ranker {
         policy: Policy,
         now_ns: u64,
     ) -> Vec<RankedServer> {
-        let mut out: Vec<RankedServer> = candidates
-            .iter()
-            .map(|&host| {
-                let delay = self
-                    .delay
-                    .estimate(map, NetNode::Host(requester), NetNode::Host(host), now_ns);
-                let bw = self
-                    .bandwidth
-                    .estimate(map, NetNode::Host(requester), NetNode::Host(host), now_ns);
-                RankedServer {
-                    host,
-                    est_delay_ns: delay.map(|d| d.total_ns()).unwrap_or(u64::MAX),
-                    est_bandwidth_bps: bw.unwrap_or(0),
-                }
-            })
-            .collect();
+        let mut out: Vec<RankedServer> =
+            candidates.iter().map(|&host| self.estimate(map, requester, host, now_ns)).collect();
+        self.sort(&mut out, requester, policy);
+        out
+    }
 
+    /// Failure-aware ranking: candidates the map has no live path to, or
+    /// whose probes went silent (`silent`, from the collector), are set
+    /// aside with an explicit reason instead of being ranked on ghost
+    /// telemetry.
+    ///
+    /// The baselines ignore telemetry and therefore exclude nothing — the
+    /// asymmetry the failover experiment measures. As a warm-up escape
+    /// hatch, if *no* candidate has a path and none is silent (an empty
+    /// map, not a failure), everyone is ranked as [`Ranker::rank`] would.
+    pub fn rank_detailed(
+        &mut self,
+        map: &NetworkMap,
+        requester: u32,
+        candidates: &[u32],
+        policy: Policy,
+        now_ns: u64,
+        silent: &[u32],
+    ) -> RankOutcome {
+        if matches!(policy, Policy::Nearest | Policy::Random) {
+            return RankOutcome {
+                ranked: self.rank(map, requester, candidates, policy, now_ns),
+                excluded: Vec::new(),
+            };
+        }
+
+        let mut ranked = Vec::with_capacity(candidates.len());
+        let mut excluded = Vec::new();
+        for &host in candidates {
+            if silent.contains(&host) {
+                excluded.push((host, ExcludeReason::OriginSilent));
+                continue;
+            }
+            let est = self.estimate(map, requester, host, now_ns);
+            if est.est_delay_ns == u64::MAX {
+                excluded.push((host, ExcludeReason::NoFreshPath));
+            } else {
+                ranked.push(est);
+            }
+        }
+
+        if ranked.is_empty() && excluded.iter().all(|(_, r)| *r == ExcludeReason::NoFreshPath) {
+            // The map knows no paths at all: warm-up, not a failure.
+            return RankOutcome {
+                ranked: self.rank(map, requester, candidates, policy, now_ns),
+                excluded: Vec::new(),
+            };
+        }
+
+        self.sort(&mut ranked, requester, policy);
+        excluded.sort_by_key(|(h, _)| *h);
+        RankOutcome { ranked, excluded }
+    }
+
+    fn estimate(&self, map: &NetworkMap, requester: u32, host: u32, now_ns: u64) -> RankedServer {
+        let delay =
+            self.delay.estimate(map, NetNode::Host(requester), NetNode::Host(host), now_ns);
+        let bw =
+            self.bandwidth.estimate(map, NetNode::Host(requester), NetNode::Host(host), now_ns);
+        RankedServer {
+            host,
+            est_delay_ns: delay.map(|d| d.total_ns()).unwrap_or(u64::MAX),
+            est_bandwidth_bps: bw.unwrap_or(0),
+        }
+    }
+
+    fn sort(&mut self, out: &mut [RankedServer], requester: u32, policy: Policy) {
         match policy {
             Policy::IntDelay => {
                 out.sort_by_key(|s| (s.est_delay_ns, s.host));
@@ -147,7 +223,6 @@ impl Ranker {
                 out.shuffle(&mut self.rng);
             }
         }
-        out
     }
 }
 
@@ -240,6 +315,60 @@ mod tests {
         assert_eq!(ranked[1].host, 99);
         assert_eq!(ranked[1].est_delay_ns, u64::MAX);
         assert_eq!(ranked[1].est_bandwidth_bps, 0);
+    }
+
+    #[test]
+    fn rank_detailed_excludes_silent_and_pathless_with_reasons() {
+        let mut r = Ranker::new(CoreConfig::default(), distances(), 1);
+        // 99 has no telemetry at all; 1 is marked silent by the collector.
+        let out =
+            r.rank_detailed(&map(), 6, &[1, 2, 99], Policy::IntDelay, 32_000_000, &[1]);
+        assert_eq!(out.ranked.len(), 1);
+        assert_eq!(out.ranked[0].host, 2);
+        assert_eq!(
+            out.excluded,
+            vec![(1, ExcludeReason::OriginSilent), (99, ExcludeReason::NoFreshPath)]
+        );
+    }
+
+    #[test]
+    fn rank_detailed_warm_up_falls_back_to_plain_ranking() {
+        // Empty map, nobody silent: every candidate is pathless, which is
+        // ignorance, not failure — rank them all.
+        let mut r = Ranker::new(CoreConfig::default(), StaticDistances::new(), 1);
+        let out = r.rank_detailed(&NetworkMap::new(), 6, &[5, 3], Policy::IntDelay, 0, &[]);
+        assert_eq!(out.ranked.len(), 2);
+        assert!(out.excluded.is_empty());
+
+        // But one silent origin among pathless candidates is a failure
+        // signal, not warm-up.
+        let mut r = Ranker::new(CoreConfig::default(), StaticDistances::new(), 1);
+        let out = r.rank_detailed(&NetworkMap::new(), 6, &[5, 3], Policy::IntDelay, 0, &[3]);
+        assert_eq!(
+            out.excluded,
+            vec![(3, ExcludeReason::OriginSilent), (5, ExcludeReason::NoFreshPath)]
+        );
+        assert!(out.ranked.is_empty(), "pathless peers stay out once failure is evident");
+    }
+
+    #[test]
+    fn rank_detailed_baselines_never_exclude() {
+        let mut r = Ranker::new(CoreConfig::default(), distances(), 1);
+        for policy in [Policy::Nearest, Policy::Random] {
+            let out = r.rank_detailed(&map(), 6, &[1, 2], policy, 32_000_000, &[1]);
+            assert_eq!(out.ranked.len(), 2, "{policy:?} ignores telemetry silence");
+            assert!(out.excluded.is_empty());
+        }
+    }
+
+    #[test]
+    fn rank_detailed_matches_rank_when_healthy() {
+        let mut a = Ranker::new(CoreConfig::default(), distances(), 1);
+        let mut b = Ranker::new(CoreConfig::default(), distances(), 1);
+        let plain = a.rank(&map(), 6, &[1, 2], Policy::IntDelay, 32_000_000);
+        let detailed = b.rank_detailed(&map(), 6, &[1, 2], Policy::IntDelay, 32_000_000, &[]);
+        assert_eq!(plain, detailed.ranked);
+        assert!(detailed.excluded.is_empty());
     }
 
     #[test]

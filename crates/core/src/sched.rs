@@ -3,13 +3,14 @@
 
 use crate::collector::IntCollector;
 use crate::config::CoreConfig;
-use crate::rank::{Policy, RankedServer, Ranker, StaticDistances};
+use crate::rank::{Policy, RankOutcome, RankedServer, Ranker, StaticDistances};
 use int_packet::msgs::{Candidate, RankingKind};
 
 /// The complete scheduler state: collector + ranking engine.
 pub struct SchedulerCore {
     collector: IntCollector,
     ranker: Ranker,
+    cfg: CoreConfig,
     /// Policy used for INT-based queries (the baselines are selected
     /// explicitly via [`SchedulerCore::rank_with`]).
     default_policy: Policy,
@@ -24,11 +25,21 @@ impl SchedulerCore {
         distances: StaticDistances,
         seed: u64,
     ) -> Self {
+        let mut collector = IntCollector::new(scheduler_host);
+        // Thread the map-side tunables into the learned map.
+        collector.map_mut().set_delay_ewma(cfg.delay_ewma_new_eighths);
+        collector.map_mut().set_qlen_retention(cfg.qlen_window_ns);
         SchedulerCore {
-            collector: IntCollector::new(scheduler_host),
-            ranker: Ranker::new(cfg, distances, seed),
+            collector,
+            ranker: Ranker::new(cfg.clone(), distances, seed),
+            cfg,
             default_policy: Policy::IntDelay,
         }
+    }
+
+    /// The configuration this scheduler runs with.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
     }
 
     /// The telemetry collector (probe ingest + learned map).
@@ -84,8 +95,32 @@ impl SchedulerCore {
 
     /// Rank under an explicit policy (INT-based or baseline).
     pub fn rank_with(&mut self, requester: u32, policy: Policy, now_ns: u64) -> Vec<RankedServer> {
+        self.rank_detailed_with(requester, policy, now_ns).ranked
+    }
+
+    /// Rank under an explicit policy, reporting exclusions.
+    ///
+    /// Failure handling happens here: telemetry older than the eviction
+    /// horizon is removed from the map first, and origins silent beyond
+    /// the silence horizon are handed to the ranker for exclusion — a host
+    /// behind a dead link is never ranked on ghost telemetry.
+    pub fn rank_detailed_with(
+        &mut self,
+        requester: u32,
+        policy: Policy,
+        now_ns: u64,
+    ) -> RankOutcome {
+        self.collector.map_mut().evict_stale(now_ns, self.cfg.eviction_horizon_ns);
+        let silent = self.collector.silent_origins(now_ns, self.cfg.origin_silence_ns);
         let candidates = self.candidates_for(requester);
-        self.ranker.rank(self.collector.map(), requester, &candidates, policy, now_ns)
+        self.ranker.rank_detailed(
+            self.collector.map(),
+            requester,
+            &candidates,
+            policy,
+            now_ns,
+            &silent,
+        )
     }
 
     /// The paper's second serving option (§III-B): an *unsorted* list of
@@ -197,6 +232,80 @@ mod tests {
             assert_eq!(r.est_delay_ns, s.est_delay_ns);
             assert_eq!(r.est_bandwidth_bps, s.est_bandwidth_bps);
         }
+    }
+
+    /// A host whose probes stop arriving is excluded from INT rankings
+    /// (origin silence) and comes back as soon as it is heard from again.
+    #[test]
+    fn silent_host_excluded_until_it_returns() {
+        use crate::rank::ExcludeReason;
+        let ms = 1_000_000u64;
+        let mut core = core_with_two_servers(); // both probed at t=32 ms
+        // Only server 2 keeps probing; server 1 goes dark.
+        for i in 1..=60u64 {
+            let mut p2 = ProbePayload::new(2, 1 + i, 0);
+            p2.int.push(rec(12, 0, 11));
+            p2.int.push(rec(11, 0, 22));
+            core.on_probe(&p2.to_bytes(), 32 * ms + i * 100 * ms);
+        }
+        let now = 32 * ms + 6_000 * ms; // 6 s ≫ the 3 s silence horizon
+        let out = core.rank_detailed_with(6, Policy::IntDelay, now);
+        assert_eq!(out.ranked.iter().map(|s| s.host).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(out.excluded, vec![(1, ExcludeReason::OriginSilent)]);
+        assert!(
+            core.rank_with(6, Policy::IntDelay, now).iter().all(|s| s.host != 1),
+            "the plain ranking path honours the exclusion too"
+        );
+
+        // Server 1 resumes probing: it rejoins the ranking.
+        let mut p1 = ProbePayload::new(1, 2, 0);
+        p1.int.push(rec(10, 0, 11));
+        p1.int.push(rec(11, 0, 22));
+        core.on_probe(&p1.to_bytes(), now + 100 * ms);
+        let out = core.rank_detailed_with(6, Policy::IntDelay, now + 200 * ms);
+        assert_eq!(out.ranked.len(), 2, "recovered host is ranked again: {out:?}");
+        assert!(out.excluded.is_empty());
+    }
+
+    /// With silence detection effectively off, eviction still removes the
+    /// dead host's telemetry from the map, so it is excluded for having no
+    /// fresh path — never ranked on ghost measurements.
+    #[test]
+    fn evicted_telemetry_excludes_host_from_ranking_inputs() {
+        use crate::rank::ExcludeReason;
+        let ms = 1_000_000u64;
+        let cfg = CoreConfig {
+            eviction_horizon_ns: 1_000 * ms,
+            origin_silence_ns: u64::MAX,
+            ..CoreConfig::default()
+        };
+        let mut d = StaticDistances::new();
+        d.set(6, 1, 3);
+        d.set(6, 2, 5);
+        let mut core = SchedulerCore::new(6, cfg, d, 42);
+        let mut p1 = ProbePayload::new(1, 1, 0);
+        p1.int.push(rec(10, 0, 11));
+        p1.int.push(rec(11, 0, 22));
+        core.on_probe(&p1.to_bytes(), 32 * ms);
+        // Server 2 keeps probing past the horizon; server 1 does not.
+        for i in 1..=30u64 {
+            let mut p2 = ProbePayload::new(2, i, 0);
+            p2.int.push(rec(12, 0, 11));
+            p2.int.push(rec(11, 0, 22));
+            core.on_probe(&p2.to_bytes(), 32 * ms + i * 100 * ms);
+        }
+        let now = 32 * ms + 3_000 * ms;
+        let out = core.rank_detailed_with(6, Policy::IntDelay, now);
+        assert_eq!(out.ranked.iter().map(|s| s.host).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(out.excluded, vec![(1, ExcludeReason::NoFreshPath)]);
+        assert!(
+            core.collector().map().dead_edges().count() >= 2,
+            "the dead path is reported, not silently dropped"
+        );
+
+        // Baselines are oblivious: they still schedule onto the dead host.
+        let nearest = core.rank_with(6, Policy::Nearest, now);
+        assert_eq!(nearest.first().map(|s| s.host), Some(1));
     }
 
     #[test]

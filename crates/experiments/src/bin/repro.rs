@@ -7,6 +7,7 @@
 //! repro fig5|fig6|fig7      # scheduling comparisons
 //! repro fig8                # ECDF of per-task gain
 //! repro fig9                # probing-interval sweep
+//! repro failover            # link-failure detection & rescheduling
 //! repro ablation-k          # conversion-factor sweep
 //! repro ablation-maxq       # queue-signal ablation
 //! repro ext-compute         # compute-aware extension demo
@@ -19,7 +20,9 @@
 //! Results are printed as tables and saved as JSON under `results/`
 //! (override with INT_RESULTS_DIR).
 
-use int_experiments::{ablation, fig3, fig5, fig6, fig7, fig8, fig9, overhead, report, tab1};
+use int_experiments::{
+    ablation, failover, fig3, fig5, fig6, fig7, fig8, fig9, overhead, report, tab1,
+};
 use int_netsim::SimDuration;
 use std::time::Instant;
 
@@ -56,15 +59,15 @@ fn main() {
     }
 
     let Some(cmd) = cmd else {
-        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|overhead|ablation-k|ablation-maxq|ext-compute> [--seed N] [--scale F]");
+        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|failover|overhead|ablation-k|ablation-maxq|ext-compute> [--seed N] [--scale F]");
         std::process::exit(2);
     };
 
     match cmd.as_str() {
         "all" => {
             for c in [
-                "tab1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "overhead", "ablation-k",
-                "ablation-maxq", "ext-compute",
+                "tab1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "failover", "overhead",
+                "ablation-k", "ablation-maxq", "ext-compute",
             ] {
                 run_one(c, &opts);
             }
@@ -127,6 +130,18 @@ fn run_one(cmd: &str, opts: &Opts) {
             let out = fig9::run_sweep(opts.seed, tasks(opts), &fig9::paper_intervals());
             println!("{}", fig9::render(&out));
             save("fig9", &out);
+        }
+        "failover" => {
+            // --scale trims the interval grid (the cells are cheap; the
+            // long-interval ones just simulate more virtual time).
+            let mut ivs = failover::default_intervals();
+            if opts.scale < 1.0 {
+                let keep = ((ivs.len() as f64 * opts.scale).ceil() as usize).max(1);
+                ivs.truncate(keep);
+            }
+            let out = failover::run_sweep(opts.seed, &ivs);
+            println!("{}", failover::render(&out));
+            save("failover", &out);
         }
         "overhead" => {
             let d = SimDuration::from_secs(((120.0 * opts.scale) as u64).max(20));

@@ -12,6 +12,7 @@
 //! | [`fig7`] | Fig. 7 — distributed workload, bandwidth ranking |
 //! | [`fig8`] | Fig. 8 — ECDF of per-task gain |
 //! | [`fig9`] | Fig. 9 — probing-interval sensitivity |
+//! | [`failover`] | link-failure detection & rescheduling (failure model, §"future work") |
 //! | [`ablation`] | max-vs-instantaneous queue signal, k sweep, compute-aware |
 //! | [`overhead`] | probing overhead vs per-packet INT padding (§III-A) |
 //!
@@ -22,6 +23,7 @@
 
 pub mod ablation;
 pub mod compare;
+pub mod failover;
 pub mod par;
 pub mod fig3;
 pub mod fig5;

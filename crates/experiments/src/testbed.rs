@@ -146,12 +146,21 @@ impl Testbed {
         let scheduler = hosts[SCHEDULER_NODE - 1];
         let scheduler_ip = Topology::host_ip(scheduler);
 
+        // Scale the failure-detection horizons with the probing interval
+        // (same spirit as Fig. 9's staleness scaling): at long intervals the
+        // defaults would read every healthy link as dead. The defaults win at
+        // the paper's 100 ms interval.
+        let mut core = cfg.core.clone();
+        let iv_ns = cfg.probe_interval.as_nanos();
+        core.origin_silence_ns = core.origin_silence_ns.max(5 * iv_ns);
+        core.eviction_horizon_ns = core.eviction_horizon_ns.max(10 * iv_ns);
+
         let scheduler_app = sim.install_app(
             scheduler,
             Box::new(SchedulerApp::new(
                 scheduler.0,
                 cfg.policy,
-                cfg.core.clone(),
+                core,
                 distances,
                 cfg.seed ^ 0x5EED_0F00,
             )),

@@ -16,6 +16,7 @@
 
 use crate::app::{App, AppCtx, AppOp};
 use crate::event::{ConnId, Event, EventQueue};
+use crate::fault::{FaultPlan, FaultState};
 use crate::pool::{BufPool, PoolStats};
 use crate::queue::{DropTailQueue, QueueStats};
 use crate::routing::RouteTable;
@@ -111,6 +112,9 @@ pub struct Simulator {
     /// Freelist of frame boxes: delivered and dropped frames are recycled
     /// into the host send paths, so steady state allocates no frames.
     pool: BufPool,
+    /// Fault-injection state; `None` (the default) keeps the data path
+    /// identical to a fault-free build.
+    faults: Option<FaultState>,
     /// Scratch op buffers for app callbacks. A stack (not a single buffer)
     /// because callbacks re-enter: `invoke_app` → `flush_tcp` → `invoke_app`.
     ops_free: Vec<Vec<AppOp>>,
@@ -182,8 +186,27 @@ impl Simulator {
             next_trace_id: 1,
             started: false,
             pool: BufPool::new(),
+            faults: None,
             ops_free: Vec::new(),
         }
+    }
+
+    /// Install a fault plan: resolves it against the topology, schedules
+    /// each transition on the event queue, and arms the runtime state.
+    /// Panics on a plan referencing links or switches that do not exist.
+    /// Transitions scheduled in the past fire at the current time.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        let resolved = plan.resolve(&self.topo).expect("invalid fault plan");
+        for &(at, action) in &resolved.events {
+            let at = if at < self.now { self.now } else { at };
+            self.events.push(at, Event::Fault(action));
+        }
+        self.faults = Some(FaultState::new(&self.topo, &resolved, self.cfg.seed));
+    }
+
+    /// Current fault state (None unless a plan was installed).
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
     }
 
     /// Install an application on a host (before or after start; `on_start`
@@ -340,10 +363,30 @@ impl Simulator {
                 }
                 self.flush_tcp(node);
             }
+            Event::Fault(action) => {
+                if let Some(f) = &mut self.faults {
+                    f.apply(action);
+                }
+            }
         }
     }
 
     fn handle_arrive(&mut self, node: NodeId, port: PortId, mut frame: Box<Frame>) {
+        if let Some(f) = &self.faults {
+            // The frame was in flight when the cable was pulled, or it
+            // reaches a switch that died while it propagated.
+            let link = self.topo.node(node).ports[port as usize].link;
+            if !f.link_is_up(link) {
+                self.stats.drops_link_down += 1;
+                self.pool.recycle(frame);
+                return;
+            }
+            if !f.node_is_up(node) {
+                self.stats.drops_switch_down += 1;
+                self.pool.recycle(frame);
+                return;
+            }
+        }
         match &mut self.nodes[node.0 as usize] {
             NodeState::Switch(sw) => {
                 let ictx =
@@ -466,7 +509,28 @@ impl Simulator {
         let tx = SimDuration::transmission(frame.wire_len(), rate);
         let arrive_at = self.now + tx + link.params.delay;
 
+        // The port spends the serialization time regardless of faults, so
+        // queues behind a dead link drain at line rate instead of wedging.
         self.events.push(self.now + tx, Event::TxDone { node, port });
+
+        if let Some(f) = &mut self.faults {
+            let counter = if !f.node_is_up(node) {
+                // A failed switch drains its queues into the void.
+                Some(&mut self.stats.drops_switch_down)
+            } else if !f.link_is_up(binding.link) {
+                Some(&mut self.stats.drops_link_down)
+            } else if f.roll_loss(binding.link) {
+                Some(&mut self.stats.drops_link_loss)
+            } else {
+                None
+            };
+            if let Some(c) = counter {
+                *c += 1;
+                self.pool.recycle(frame);
+                return;
+            }
+        }
+
         self.events.push(
             arrive_at,
             Event::Arrive { node: binding.peer, port: binding.peer_port, frame },
@@ -1115,6 +1179,126 @@ mod tests {
             done.recycles >= done.takes - done.allocs,
             "every non-fresh take was fed by a recycle: {done:?}"
         );
+    }
+
+    /// A 100 ms CBR flow across h1—s1—h2 with the h1–s1 link cut from
+    /// t=2 s to t=4 s: deliveries stop during the outage (counted as
+    /// link-down drops) and resume after recovery.
+    #[test]
+    fn link_down_blackholes_and_recovers() {
+        let (t, h1, s1, h2) = line_topo();
+        let mut sim = Simulator::new(t, cfg());
+        sim.install_app(
+            h1,
+            Box::new(CbrUdp {
+                dst: Topology::host_ip(h2),
+                dst_port: 5001,
+                payload: 100,
+                period: SimDuration::from_millis(100),
+                until: SimTime::ZERO + SimDuration::from_secs(6),
+            }),
+        );
+        let sink = sim.install_app(h2, Box::new(UdpSink::default()));
+        sim.install_fault_plan(
+            &FaultPlan::new()
+                .link_down(h1, s1, SimTime::ZERO + SimDuration::from_secs(2))
+                .link_up(h1, s1, SimTime::ZERO + SimDuration::from_secs(4)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(6));
+
+        let stats = sim.stats();
+        assert!(stats.drops_link_down >= 15, "outage visible: {stats:?}");
+        let got = &sim.app::<UdpSink>(h2, sink).unwrap().got;
+        let early = got.iter().filter(|(at, _)| at.as_secs_f64() < 2.0).count();
+        let outage = got.iter().filter(|(at, _)| (2.1..4.0).contains(&at.as_secs_f64())).count();
+        let late = got.iter().filter(|(at, _)| at.as_secs_f64() > 4.1).count();
+        assert!(early >= 15, "pre-failure deliveries: {early}");
+        assert_eq!(outage, 0, "nothing crosses a dead link");
+        assert!(late >= 15, "deliveries resume after recovery: {late}");
+    }
+
+    #[test]
+    fn switch_fail_drops_everything_until_recovery() {
+        let (t, h1, s1, h2) = line_topo();
+        let mut sim = Simulator::new(t, cfg());
+        sim.install_app(
+            h1,
+            Box::new(CbrUdp {
+                dst: Topology::host_ip(h2),
+                dst_port: 5001,
+                payload: 100,
+                period: SimDuration::from_millis(100),
+                until: SimTime::ZERO + SimDuration::from_secs(6),
+            }),
+        );
+        let sink = sim.install_app(h2, Box::new(UdpSink::default()));
+        sim.install_fault_plan(
+            &FaultPlan::new()
+                .switch_fail(s1, SimTime::ZERO + SimDuration::from_secs(2))
+                .switch_recover(s1, SimTime::ZERO + SimDuration::from_secs(4)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(6));
+
+        let stats = sim.stats();
+        assert!(stats.drops_switch_down >= 15, "dead switch drops frames: {stats:?}");
+        assert_eq!(stats.drops_link_down, 0, "attributed to the switch, not the link");
+        let got = &sim.app::<UdpSink>(h2, sink).unwrap().got;
+        let outage = got.iter().filter(|(at, _)| (2.1..4.0).contains(&at.as_secs_f64())).count();
+        let late = got.iter().filter(|(at, _)| at.as_secs_f64() > 4.1).count();
+        assert_eq!(outage, 0, "nothing traverses a failed switch");
+        assert!(late >= 15, "forwarding resumes on recovery: {late}");
+    }
+
+    #[test]
+    fn total_link_loss_drops_every_frame() {
+        let (t, h1, s1, h2) = line_topo();
+        let mut sim = Simulator::new(t, cfg());
+        sim.install_app(
+            h1,
+            Box::new(CbrUdp {
+                dst: Topology::host_ip(h2),
+                dst_port: 5001,
+                payload: 100,
+                period: SimDuration::from_millis(100),
+                until: SimTime::ZERO + SimDuration::from_secs(2),
+            }),
+        );
+        let sink = sim.install_app(h2, Box::new(UdpSink::default()));
+        sim.install_fault_plan(&FaultPlan::new().link_loss(h1, s1, 1.0));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+
+        assert!(sim.stats().drops_link_loss >= 15, "{:?}", sim.stats());
+        assert!(sim.app::<UdpSink>(h2, sink).unwrap().got.is_empty());
+    }
+
+    #[test]
+    fn partial_loss_replays_identically_and_recycles_frames() {
+        let run = |seed: u64| {
+            let (t, h1, s1, h2) = line_topo();
+            let mut sim = Simulator::new(t, SimConfig { seed, ..cfg() });
+            sim.install_app(
+                h1,
+                Box::new(CbrUdp {
+                    dst: Topology::host_ip(h2),
+                    dst_port: 5001,
+                    payload: 100,
+                    period: SimDuration::from_millis(20),
+                    until: SimTime::ZERO + SimDuration::from_secs(5),
+                }),
+            );
+            let sink = sim.install_app(h2, Box::new(UdpSink::default()));
+            sim.install_fault_plan(&FaultPlan::new().link_loss(h1, s1, 0.3));
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(6));
+            (sim.stats(), sim.pool_stats(), sim.app::<UdpSink>(h2, sink).unwrap().got.len())
+        };
+        let (stats, pool, delivered) = run(11);
+        assert!(stats.drops_link_loss > 30, "loss actually biting: {stats:?}");
+        assert!(delivered > 100, "most frames still get through: {delivered}");
+        assert!(
+            pool.recycles >= stats.drops_link_loss,
+            "every lost frame went back to the pool: {pool:?} vs {stats:?}"
+        );
+        assert_eq!((stats, pool, delivered), run(11), "identical seeds replay identically");
     }
 
     #[test]

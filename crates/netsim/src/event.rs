@@ -2,6 +2,7 @@
 //! tie-breaking (FIFO among same-time events via a monotone sequence
 //! number), so identical seeds replay identical packet-level schedules.
 
+use crate::fault::FaultAction;
 use crate::time::SimTime;
 use crate::topology::{NodeId, PortId};
 use int_dataplane::Frame;
@@ -53,6 +54,9 @@ pub enum Event {
         /// Timer generation: stale timers (generation mismatch) are ignored.
         generation: u64,
     },
+    /// A scheduled fault transition (link down/up, switch fail/recover)
+    /// from an installed [`FaultPlan`](crate::fault::FaultPlan) fires.
+    Fault(FaultAction),
 }
 
 // Lock in the compact event layout: heap sifts move `Scheduled` by value,

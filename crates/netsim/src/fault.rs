@@ -1,0 +1,309 @@
+//! Fault injection: scheduled link/switch failures and probabilistic
+//! per-link frame loss.
+//!
+//! A [`FaultPlan`] is a declarative schedule authored in terms of the
+//! topology the experimenter sees — node pairs for links, node ids for
+//! switches — and resolved against the [`Topology`] when installed into
+//! the engine. Execution is event-driven: each transition becomes an
+//! [`Event::Fault`](crate::event::Event) at its scheduled time, so fault
+//! timing composes deterministically with the rest of the event queue
+//! (FIFO among same-time events, identical replay for identical seeds).
+//!
+//! The failure semantics mirror a cable pull, not a graceful drain:
+//!
+//! * **Link down** — frames starting serialization on the link are
+//!   transmitted into the void (the port still spends the serialization
+//!   time, so queues drain at line rate), and frames already in flight
+//!   when the link goes down are lost on arrival.
+//! * **Switch fail** — the node stops forwarding: anything arriving at it
+//!   is dropped, and anything still queued on its ports is dropped as the
+//!   ports drain.
+//! * **Probabilistic loss** — each frame entering a lossy link is dropped
+//!   with probability `p`, rolled on a dedicated RNG stream derived from
+//!   the master seed (so loss does not perturb application RNG streams).
+//!
+//! Routing is static (computed at construction), so a failed link is a
+//! blackhole for every pair routed across it — exactly the condition the
+//! `failover` experiment needs the scheduler to detect from telemetry
+//! silence rather than from rerouting.
+
+use crate::time::SimTime;
+use crate::topology::{LinkId, NodeId, NodeKind, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A resolved fault transition, ready for the event queue.
+///
+/// Kept to two words so [`Event`](crate::event::Event) stays within its
+/// compact-layout budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The link stops carrying frames.
+    LinkDown(LinkId),
+    /// The link carries frames again.
+    LinkUp(LinkId),
+    /// The switch stops forwarding.
+    SwitchFail(NodeId),
+    /// The switch forwards again.
+    SwitchRecover(NodeId),
+}
+
+/// One scheduled transition in experimenter terms (node pairs, not link
+/// ids — resolved at install time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultSpec {
+    LinkDown(NodeId, NodeId),
+    LinkUp(NodeId, NodeId),
+    SwitchFail(NodeId),
+    SwitchRecover(NodeId),
+}
+
+/// A declarative schedule of failures plus per-link loss probabilities.
+///
+/// Build one with the fluent methods, then hand it to
+/// [`Simulator::install_fault_plan`](crate::engine::Simulator::install_fault_plan).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultSpec)>,
+    loss: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl FaultPlan {
+    /// Empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the link between `a` and `b` down at time `at`.
+    pub fn link_down(mut self, a: NodeId, b: NodeId, at: SimTime) -> Self {
+        self.events.push((at, FaultSpec::LinkDown(a, b)));
+        self
+    }
+
+    /// Bring the link between `a` and `b` back up at time `at`.
+    pub fn link_up(mut self, a: NodeId, b: NodeId, at: SimTime) -> Self {
+        self.events.push((at, FaultSpec::LinkUp(a, b)));
+        self
+    }
+
+    /// Fail switch `sw` at time `at`.
+    pub fn switch_fail(mut self, sw: NodeId, at: SimTime) -> Self {
+        self.events.push((at, FaultSpec::SwitchFail(sw)));
+        self
+    }
+
+    /// Recover switch `sw` at time `at`.
+    pub fn switch_recover(mut self, sw: NodeId, at: SimTime) -> Self {
+        self.events.push((at, FaultSpec::SwitchRecover(sw)));
+        self
+    }
+
+    /// Drop each frame entering the link between `a` and `b` with
+    /// probability `p` (both directions), for the whole run.
+    pub fn link_loss(mut self, a: NodeId, b: NodeId, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} outside [0, 1]");
+        self.loss.push((a, b, p));
+        self
+    }
+
+    /// True if the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.loss.is_empty()
+    }
+
+    /// Resolve the plan against a topology: node pairs become link ids,
+    /// switch ids are checked to actually be switches.
+    pub(crate) fn resolve(&self, topo: &Topology) -> Result<ResolvedFaultPlan, String> {
+        let mut events = Vec::with_capacity(self.events.len());
+        for &(at, spec) in &self.events {
+            let action = match spec {
+                FaultSpec::LinkDown(a, b) => FaultAction::LinkDown(Self::find_link(topo, a, b)?),
+                FaultSpec::LinkUp(a, b) => FaultAction::LinkUp(Self::find_link(topo, a, b)?),
+                FaultSpec::SwitchFail(sw) => FaultAction::SwitchFail(Self::check_switch(topo, sw)?),
+                FaultSpec::SwitchRecover(sw) => {
+                    FaultAction::SwitchRecover(Self::check_switch(topo, sw)?)
+                }
+            };
+            events.push((at, action));
+        }
+        let mut loss = Vec::with_capacity(self.loss.len());
+        for &(a, b, p) in &self.loss {
+            loss.push((Self::find_link(topo, a, b)?, p));
+        }
+        Ok(ResolvedFaultPlan { events, loss })
+    }
+
+    fn find_link(topo: &Topology, a: NodeId, b: NodeId) -> Result<LinkId, String> {
+        topo.link_between(a, b).ok_or_else(|| format!("no link between {a} and {b}"))
+    }
+
+    fn check_switch(topo: &Topology, sw: NodeId) -> Result<NodeId, String> {
+        if topo.nodes.get(sw.0 as usize).map(|n| n.kind) == Some(NodeKind::Switch) {
+            Ok(sw)
+        } else {
+            Err(format!("{sw} is not a switch"))
+        }
+    }
+}
+
+/// A plan resolved against a concrete topology.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedFaultPlan {
+    pub(crate) events: Vec<(SimTime, FaultAction)>,
+    pub(crate) loss: Vec<(LinkId, f64)>,
+}
+
+/// Runtime fault state the engine consults on the data path.
+///
+/// Only simulations with an installed plan carry one; fault-free runs pay
+/// a single `Option` check per transmission.
+#[derive(Debug)]
+pub struct FaultState {
+    /// Per-link up/down (index = `LinkId.0`).
+    link_up: Vec<bool>,
+    /// Per-node up/down (index = `NodeId.0`; hosts never fail).
+    node_up: Vec<bool>,
+    /// Per-link loss probability (index = `LinkId.0`; 0.0 = lossless).
+    loss: Vec<f64>,
+    /// True if any link has nonzero loss (skips the per-frame lookup).
+    any_loss: bool,
+    /// Dedicated stream for loss rolls, derived from the master seed.
+    rng: SmallRng,
+}
+
+impl FaultState {
+    pub(crate) fn new(topo: &Topology, plan: &ResolvedFaultPlan, seed: u64) -> Self {
+        let mut loss = vec![0.0; topo.links.len()];
+        for &(id, p) in &plan.loss {
+            loss[id.0 as usize] = p;
+        }
+        let any_loss = loss.iter().any(|&p| p > 0.0);
+        FaultState {
+            link_up: vec![true; topo.links.len()],
+            node_up: vec![true; topo.nodes.len()],
+            loss,
+            any_loss,
+            // Golden-ratio mix keeps this stream distinct from every
+            // per-host stream derived from the same master seed.
+            rng: SmallRng::seed_from_u64(seed ^ 0xF4A7_0000_0000_0001u64.wrapping_mul(0x9E37_79B9)),
+        }
+    }
+
+    /// Apply one transition.
+    pub(crate) fn apply(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown(l) => self.link_up[l.0 as usize] = false,
+            FaultAction::LinkUp(l) => self.link_up[l.0 as usize] = true,
+            FaultAction::SwitchFail(n) => self.node_up[n.0 as usize] = false,
+            FaultAction::SwitchRecover(n) => self.node_up[n.0 as usize] = true,
+        }
+    }
+
+    /// Is the link currently carrying frames?
+    pub fn link_is_up(&self, id: LinkId) -> bool {
+        self.link_up[id.0 as usize]
+    }
+
+    /// Is the node currently forwarding?
+    pub fn node_is_up(&self, id: NodeId) -> bool {
+        self.node_up[id.0 as usize]
+    }
+
+    /// Roll the loss dice for a frame entering `link`. Consumes RNG state
+    /// only for links with nonzero loss, so loss-free plans replay the
+    /// same schedule as no plan at all.
+    pub(crate) fn roll_loss(&mut self, link: LinkId) -> bool {
+        if !self.any_loss {
+            return false;
+        }
+        let p = self.loss[link.0 as usize];
+        p > 0.0 && self.rng.gen_bool(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use crate::topology::LinkParams;
+
+    fn topo() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1");
+        let s1 = t.add_switch("s1");
+        let h2 = t.add_host("h2");
+        t.add_link(h1, s1, LinkParams::paper_default());
+        t.add_link(s1, h2, LinkParams::paper_default());
+        (t, h1, s1, h2)
+    }
+
+    #[test]
+    fn resolves_node_pairs_to_links() {
+        let (t, h1, s1, h2) = topo();
+        let at = SimTime::ZERO + SimDuration::from_secs(1);
+        let plan = FaultPlan::new()
+            .link_down(h1, s1, at)
+            .link_up(s1, h1, at + SimDuration::from_secs(1))
+            .link_loss(s1, h2, 0.25);
+        let r = plan.resolve(&t).expect("resolves");
+        assert_eq!(r.events[0], (at, FaultAction::LinkDown(LinkId(0))));
+        assert_eq!(
+            r.events[1],
+            (at + SimDuration::from_secs(1), FaultAction::LinkUp(LinkId(0)))
+        );
+        assert_eq!(r.loss, vec![(LinkId(1), 0.25)]);
+    }
+
+    #[test]
+    fn rejects_missing_link_and_non_switch() {
+        let (t, h1, _s1, h2) = topo();
+        let err = FaultPlan::new()
+            .link_down(h1, h2, SimTime::ZERO)
+            .resolve(&t)
+            .unwrap_err();
+        assert!(err.contains("no link"), "{err}");
+        let err = FaultPlan::new().switch_fail(h1, SimTime::ZERO).resolve(&t).unwrap_err();
+        assert!(err.contains("not a switch"), "{err}");
+    }
+
+    #[test]
+    fn state_tracks_transitions() {
+        let (t, _h1, s1, _h2) = topo();
+        let plan = FaultPlan::new().resolve(&t).unwrap();
+        let mut st = FaultState::new(&t, &plan, 1);
+        assert!(st.link_is_up(LinkId(0)));
+        assert!(st.node_is_up(s1));
+        st.apply(FaultAction::LinkDown(LinkId(0)));
+        st.apply(FaultAction::SwitchFail(s1));
+        assert!(!st.link_is_up(LinkId(0)));
+        assert!(!st.node_is_up(s1));
+        st.apply(FaultAction::LinkUp(LinkId(0)));
+        st.apply(FaultAction::SwitchRecover(s1));
+        assert!(st.link_is_up(LinkId(0)));
+        assert!(st.node_is_up(s1));
+    }
+
+    #[test]
+    fn loss_roll_is_deterministic_and_respects_probability() {
+        let (t, h1, s1, _h2) = topo();
+        let plan = FaultPlan::new().link_loss(h1, s1, 0.5).resolve(&t).unwrap();
+        let rolls = |seed| {
+            let mut st = FaultState::new(&t, &plan, seed);
+            (0..1000).map(|_| st.roll_loss(LinkId(0))).collect::<Vec<_>>()
+        };
+        let a = rolls(9);
+        assert_eq!(a, rolls(9), "same seed, same rolls");
+        let hits = a.iter().filter(|&&b| b).count();
+        assert!((300..700).contains(&hits), "p=0.5 plausibly honored: {hits}/1000");
+        // Lossless link never consumes a roll outcome.
+        let mut st = FaultState::new(&t, &plan, 9);
+        assert!(!st.roll_loss(LinkId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn loss_probability_validated() {
+        let (_t, h1, s1, _h2) = topo();
+        let _ = FaultPlan::new().link_loss(h1, s1, 1.5);
+    }
+}

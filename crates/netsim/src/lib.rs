@@ -8,6 +8,8 @@
 //! * [`engine`] — the event loop: serialization, propagation, queuing,
 //!   data-plane program invocation at ingress / enqueue / egress,
 //! * [`routing`] — shortest-path route computation and installation,
+//! * [`fault`] — scheduled link/switch failures and probabilistic frame
+//!   loss, executed deterministically by the engine,
 //! * [`tcp`] — a TCP-Reno-style reliable transport for task transfers,
 //! * [`app`] — the application framework (UDP, timers, TCP) simulated
 //!   programs run on,
@@ -23,6 +25,7 @@
 pub mod app;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod pool;
 pub mod queue;
 pub mod routing;
@@ -35,6 +38,7 @@ pub mod trace;
 pub use app::{App, AppCtx, AppOp};
 pub use engine::{SimConfig, Simulator};
 pub use event::{ConnId, Event, EventQueue};
+pub use fault::{FaultAction, FaultPlan, FaultState};
 pub use pool::{BufPool, PoolStats};
 pub use queue::{DropTailQueue, QueueStats};
 pub use routing::RouteTable;

@@ -18,12 +18,27 @@ pub struct NetStats {
     pub drops_dataplane: u64,
     /// Frames dropped at a host (wrong address, unbound port).
     pub drops_host: u64,
+    /// Frames dropped because their link was administratively down
+    /// (fault injection): transmitted into the void or lost in flight.
+    pub drops_link_down: u64,
+    /// Frames dropped at or by a failed switch (fault injection).
+    pub drops_switch_down: u64,
+    /// Frames lost to probabilistic per-link loss (fault injection).
+    pub drops_link_loss: u64,
 }
 
 impl NetStats {
     /// Total drops of any kind.
     pub fn total_drops(&self) -> u64 {
-        self.drops_queue_full + self.drops_dataplane + self.drops_host
+        self.drops_queue_full
+            + self.drops_dataplane
+            + self.drops_host
+            + self.fault_drops()
+    }
+
+    /// Drops attributable to injected faults.
+    pub fn fault_drops(&self) -> u64 {
+        self.drops_link_down + self.drops_switch_down + self.drops_link_loss
     }
 }
 
@@ -37,8 +52,12 @@ mod tests {
             drops_queue_full: 1,
             drops_dataplane: 2,
             drops_host: 3,
+            drops_link_down: 4,
+            drops_switch_down: 5,
+            drops_link_loss: 6,
             ..Default::default()
         };
-        assert_eq!(s.total_drops(), 6);
+        assert_eq!(s.fault_drops(), 15);
+        assert_eq!(s.total_drops(), 21);
     }
 }

@@ -162,6 +162,14 @@ impl Topology {
         &self.links[id.0 as usize]
     }
 
+    /// The link connecting `a` and `b` (either order), if one exists.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.links
+            .iter()
+            .find(|l| (l.a.0 == a && l.b.0 == b) || (l.a.0 == b && l.b.0 == a))
+            .map(|l| l.id)
+    }
+
     /// All host node ids, in creation order.
     pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.nodes.iter().filter(|n| n.kind == NodeKind::Host).map(|n| n.id)
@@ -243,6 +251,9 @@ mod tests {
         assert_eq!(t.node_by_name("s1"), Some(s1));
         assert_eq!(t.node(h1).ports[0], PortBinding { link: l1, peer: s1, peer_port: 0 });
         assert_eq!(t.node(s1).ports[1], PortBinding { link: l2, peer: h2, peer_port: 0 });
+        assert_eq!(t.link_between(h1, s1), Some(l1));
+        assert_eq!(t.link_between(h2, s1), Some(l2), "order-insensitive");
+        assert_eq!(t.link_between(h1, h2), None);
         assert!(t.validate().is_ok());
     }
 

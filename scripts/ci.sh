@@ -22,4 +22,15 @@ cargo clippy --workspace --release --all-targets -- -D warnings
 echo "== benches (smoke)"
 cargo bench -p int-bench -- --test
 
+echo "== failover (smoke)"
+# Tiny grid, fixed seed, serial: the INT row must report a finite
+# time-to-detect for the failed link (the baselines report null).
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+INT_RESULTS_DIR="$smoke_dir" INT_EXP_THREADS=1 \
+    cargo run --release -q -p int-experiments --bin repro -- failover --seed 1 --scale 0.25
+grep -A2 '"policy": "IntDelay"' "$smoke_dir/failover.json" \
+    | grep -q '"detect_ms": [0-9]' \
+    || { echo "failover smoke: no finite detect_ms for IntDelay"; exit 1; }
+
 echo "CI OK"
