@@ -53,6 +53,17 @@ impl SchedulerApp {
         &mut self.core
     }
 
+    /// The scheduler's decision audit trail (disabled unless
+    /// [`SchedulerApp::set_audit_enabled`] turned it on).
+    pub fn audit(&self) -> &int_obs::DecisionAudit {
+        self.core.audit()
+    }
+
+    /// Enable or disable per-query decision auditing.
+    pub fn set_audit_enabled(&mut self, on: bool) {
+        self.core.set_audit_enabled(on);
+    }
+
     /// Pre-register candidate hosts (needed when INT probing is disabled,
     /// i.e. for the Nearest/Random baselines).
     pub fn register_hosts(&mut self, hosts: &[u32]) {

@@ -71,6 +71,40 @@ fn bench_packet_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_packet_throughput_observed(c: &mut Criterion) {
+    // Same workload as `cbr_5s_one_switch`, with every observability
+    // sink lit (metrics registry, trace ring, data-plane tracing).
+    // Compare against the plain variant to price the instrumentation;
+    // the *disabled* registry (the default everywhere else) must stay
+    // within ~2% of the plain variant — it costs one branch per record
+    // site (see results/bench_pr3.json for the paired numbers).
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(8000));
+    g.bench_function("cbr_5s_one_switch_obs_on", |b| {
+        b.iter(|| {
+            let (t, h1, h2) = line_topo();
+            let mut sim = Simulator::new(t, SimConfig::default());
+            sim.metrics_mut().set_enabled(true);
+            sim.set_tracing(true);
+            sim.install_app(
+                h1,
+                Box::new(IperfSenderApp::new(IperfConfig::new(
+                    Topology::host_ip(h2),
+                    19_000_000,
+                    SimTime::ZERO,
+                    SimDuration::from_secs(5),
+                ))),
+            );
+            sim.install_app(h2, Box::new(UdpSinkApp::new(IPERF_UDP_PORT)));
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+            black_box(sim.trace_ring().seen());
+            black_box(sim.stats().frames_delivered)
+        })
+    });
+    g.finish();
+}
+
 fn bench_tcp_transfer(c: &mut Criterion) {
     use int_netsim::{App, AppCtx, TcpEvent};
     use std::any::Any;
@@ -133,5 +167,11 @@ fn bench_tcp_transfer(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_packet_throughput, bench_tcp_transfer);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_packet_throughput,
+    bench_packet_throughput_observed,
+    bench_tcp_transfer
+);
 criterion_main!(benches);

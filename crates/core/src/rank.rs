@@ -36,6 +36,17 @@ impl Policy {
             Policy::Random => "Random",
         }
     }
+
+    /// Stable variant name, one per policy (unlike [`Policy::label`],
+    /// which merges both INT policies). Used in audit exports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::IntDelay => "IntDelay",
+            Policy::IntBandwidth => "IntBandwidth",
+            Policy::Nearest => "Nearest",
+            Policy::Random => "Random",
+        }
+    }
 }
 
 /// One ranked candidate with its estimated network performance.
@@ -58,6 +69,16 @@ pub enum ExcludeReason {
     /// The host originated probes before but has been silent beyond the
     /// configured horizon — presumed unreachable.
     OriginSilent,
+}
+
+impl ExcludeReason {
+    /// Stable label used in audit exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExcludeReason::NoFreshPath => "NoFreshPath",
+            ExcludeReason::OriginSilent => "OriginSilent",
+        }
+    }
 }
 
 /// The result of a failure-aware ranking: the usable candidates, ranked

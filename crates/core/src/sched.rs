@@ -4,6 +4,7 @@
 use crate::collector::IntCollector;
 use crate::config::CoreConfig;
 use crate::rank::{Policy, RankOutcome, RankedServer, Ranker, StaticDistances};
+use int_obs::{CandidateEstimate, DecisionAudit, DecisionRecord};
 use int_packet::msgs::{Candidate, RankingKind};
 
 /// The complete scheduler state: collector + ranking engine.
@@ -14,6 +15,8 @@ pub struct SchedulerCore {
     /// Policy used for INT-based queries (the baselines are selected
     /// explicitly via [`SchedulerCore::rank_with`]).
     default_policy: Policy,
+    /// Decision audit trail (disabled by default: one branch per query).
+    audit: DecisionAudit,
 }
 
 impl SchedulerCore {
@@ -34,7 +37,19 @@ impl SchedulerCore {
             ranker: Ranker::new(cfg.clone(), distances, seed),
             cfg,
             default_policy: Policy::IntDelay,
+            audit: DecisionAudit::default(),
         }
+    }
+
+    /// The decision audit trail (disabled unless
+    /// [`SchedulerCore::set_audit_enabled`] turned it on).
+    pub fn audit(&self) -> &DecisionAudit {
+        &self.audit
+    }
+
+    /// Enable or disable per-query decision auditing.
+    pub fn set_audit_enabled(&mut self, on: bool) {
+        self.audit.set_enabled(on);
     }
 
     /// The configuration this scheduler runs with.
@@ -113,14 +128,33 @@ impl SchedulerCore {
         self.collector.map_mut().evict_stale(now_ns, self.cfg.eviction_horizon_ns);
         let silent = self.collector.silent_origins(now_ns, self.cfg.origin_silence_ns);
         let candidates = self.candidates_for(requester);
-        self.ranker.rank_detailed(
+        let outcome = self.ranker.rank_detailed(
             self.collector.map(),
             requester,
             &candidates,
             policy,
             now_ns,
             &silent,
-        )
+        );
+        if self.audit.enabled() {
+            self.audit.record(DecisionRecord {
+                at_ns: now_ns,
+                requester,
+                policy: policy.name(),
+                chosen: outcome.ranked.first().map(|r| r.host),
+                ranked: outcome
+                    .ranked
+                    .iter()
+                    .map(|r| CandidateEstimate {
+                        host: r.host,
+                        est_delay_ns: r.est_delay_ns,
+                        est_bandwidth_bps: r.est_bandwidth_bps,
+                    })
+                    .collect(),
+                excluded: outcome.excluded.iter().map(|(h, r)| (*h, r.as_str())).collect(),
+            });
+        }
+        outcome
     }
 
     /// The paper's second serving option (§III-B): an *unsorted* list of
@@ -306,6 +340,45 @@ mod tests {
         // Baselines are oblivious: they still schedule onto the dead host.
         let nearest = core.rank_with(6, Policy::Nearest, now);
         assert_eq!(nearest.first().map(|s| s.host), Some(1));
+    }
+
+    /// The audit trail captures what the scheduler believed per query:
+    /// candidate estimates, exclusions with reasons, and the chosen host.
+    /// Off by default; deterministic JSON once on.
+    #[test]
+    fn audit_trail_records_decisions() {
+        let mut core = core_with_two_servers();
+        core.rank_with(6, Policy::IntDelay, 32_000_000);
+        assert_eq!(core.audit().total(), 0, "audit off by default");
+
+        core.set_audit_enabled(true);
+        core.rank_with(6, Policy::IntDelay, 33_000_000);
+        let ms = 1_000_000u64;
+        // Server 2 keeps probing; server 1 goes silent past the horizon.
+        for i in 1..=60u64 {
+            let mut p2 = ProbePayload::new(2, 100 + i, 0);
+            p2.int.push(rec(12, 0, 11));
+            p2.int.push(rec(11, 0, 22));
+            core.on_probe(&p2.to_bytes(), 32 * ms + i * 100 * ms);
+        }
+        core.rank_with(6, Policy::IntDelay, 32 * ms + 6_000 * ms);
+
+        let records = core.audit().records();
+        assert_eq!(records.len(), 2);
+        let healthy = &records[0];
+        assert_eq!(healthy.requester, 6);
+        assert_eq!(healthy.policy, "IntDelay");
+        assert_eq!(healthy.chosen, Some(2), "clean server chosen");
+        assert_eq!(healthy.ranked.len(), 2);
+        assert!(healthy.ranked[0].est_delay_ns < healthy.ranked[1].est_delay_ns);
+
+        let failed = &records[1];
+        assert_eq!(failed.chosen, Some(2));
+        assert_eq!(failed.excluded, vec![(1, "OriginSilent")]);
+
+        let json = core.audit().to_json();
+        assert!(json.contains(r#""reason":"OriginSilent""#), "{json}");
+        assert!(json.contains(r#""policy":"IntDelay""#));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::frame::Frame;
 use crate::registers::RegisterFile;
+use int_obs::TraceEvent;
 use std::net::Ipv4Addr;
 
 /// A switch-local port index.
@@ -85,4 +86,17 @@ pub trait DataPlaneProgram: Send {
 
     /// Control-plane write access to the program's registers.
     fn registers_mut(&mut self) -> &mut RegisterFile;
+
+    /// Enable or disable trace-event buffering. Programs that emit no
+    /// trace events ignore this (the default).
+    fn set_tracing(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Move any buffered trace events into `out` (oldest first). The
+    /// simulator drains after each egress call, so buffers stay tiny.
+    /// Default: no events.
+    fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        let _ = out;
+    }
 }

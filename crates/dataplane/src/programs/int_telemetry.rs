@@ -25,6 +25,7 @@ use crate::programs::decrement_ttl;
 use crate::programs::l3fwd::L3ForwardProgram;
 use crate::registers::RegisterFile;
 use bytes::BytesMut;
+use int_obs::{TraceEvent, TraceKind};
 use int_packet::int::IntRecord;
 use int_packet::ipv4::Ipv4Header;
 use int_packet::udp::UdpHeader;
@@ -49,6 +50,9 @@ pub struct IntTelemetryProgram {
     cfg: IntProgramConfig,
     l3: L3ForwardProgram,
     registers: RegisterFile,
+    /// Buffer harvest/reset trace events for the simulator to drain.
+    tracing: bool,
+    trace_buf: Vec<TraceEvent>,
 }
 
 impl IntTelemetryProgram {
@@ -65,7 +69,13 @@ impl IntTelemetryProgram {
         registers.declare(Self::REG_MAX_QLEN, cfg.num_ports);
         registers.declare(Self::REG_PROBE_COUNT, cfg.num_ports);
         registers.declare(Self::REG_ENQ_COUNT, cfg.num_ports);
-        IntTelemetryProgram { cfg, l3: L3ForwardProgram::new(cfg.num_ports), registers }
+        IntTelemetryProgram {
+            cfg,
+            l3: L3ForwardProgram::new(cfg.num_ports),
+            registers,
+            tracing: false,
+            trace_buf: Vec::new(),
+        }
     }
 
     /// Control plane: route `prefix/len` out of `port`.
@@ -95,6 +105,26 @@ impl IntTelemetryProgram {
 
         let max_qlen =
             self.registers.array_mut(Self::REG_MAX_QLEN).take(ctx.egress_port as usize);
+        if self.tracing {
+            // One event for the harvested sample, one for the
+            // read-and-reset side effect the harvest performs.
+            self.trace_buf.push(TraceEvent {
+                at_ns: ctx.now_ns,
+                kind: TraceKind::ProbeHarvest {
+                    switch: self.cfg.switch_id,
+                    port: ctx.egress_port as u8,
+                    max_qlen_pkts: max_qlen.min(u32::MAX as u64) as u32,
+                },
+            });
+            self.trace_buf.push(TraceEvent {
+                at_ns: ctx.now_ns,
+                kind: TraceKind::RegisterReset {
+                    switch: self.cfg.switch_id,
+                    register: Self::REG_MAX_QLEN,
+                    port: ctx.egress_port as u8,
+                },
+            });
+        }
 
         probe.int.push(IntRecord {
             switch_id: self.cfg.switch_id,
@@ -212,6 +242,17 @@ impl DataPlaneProgram for IntTelemetryProgram {
 
     fn registers_mut(&mut self) -> &mut RegisterFile {
         &mut self.registers
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.trace_buf.clear();
+        }
+    }
+
+    fn drain_trace(&mut self, out: &mut Vec<TraceEvent>) {
+        out.append(&mut self.trace_buf);
     }
 }
 
@@ -367,6 +408,39 @@ mod tests {
         assert_eq!(udp.payload_len(), parsed.payload(&probe.bytes).len());
         let ip = parsed.ip.unwrap();
         assert_eq!(ip.total_len as usize, probe.bytes.len() - EthernetHeader::LEN);
+    }
+
+    #[test]
+    fn tracing_buffers_harvest_and_reset_events() {
+        let mut p = program(true);
+        p.set_tracing(true);
+
+        let mut d = data_frame();
+        run_through(&mut p, &mut d, 1_000, 5);
+        let mut probe = probe_frame(3, 0);
+        run_through(&mut p, &mut probe, 10_000_000, 6);
+
+        let mut out = Vec::new();
+        p.drain_trace(&mut out);
+        assert_eq!(out.len(), 2, "one harvest + one reset per probe");
+        assert!(matches!(
+            out[0].kind,
+            TraceKind::ProbeHarvest { switch: 42, port: 2, max_qlen_pkts: 6 }
+        ));
+        assert!(matches!(
+            out[1].kind,
+            TraceKind::RegisterReset { switch: 42, register: "max_qlen", port: 2 }
+        ));
+
+        // Drained: a second drain yields nothing; disabling clears.
+        let mut again = Vec::new();
+        p.drain_trace(&mut again);
+        assert!(again.is_empty());
+        p.set_tracing(false);
+        let mut probe2 = probe_frame(3, 0);
+        run_through(&mut p, &mut probe2, 20_000_000, 1);
+        p.drain_trace(&mut again);
+        assert!(again.is_empty(), "no buffering while tracing is off");
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Observability export: instrumented failover cells with the full
+//! decision audit trail.
+//!
+//! Re-runs a small failover grid (policy × probing interval, ring link
+//! sw9–sw10 cut mid-run) with the observability layer lit — engine
+//! metrics registry, trace ring, and the scheduler's decision audit —
+//! and exports everything as one artifact. The audit trail answers,
+//! per scheduling query, what the scheduler believed when it decided:
+//! the ranked candidates with their delay/bandwidth estimates, the
+//! excluded hosts with reasons, and the chosen host. After the link
+//! cut the IntDelay cell must show `NoFreshPath`/`OriginSilent`
+//! exclusions — `scripts/ci.sh` smoke-checks exactly that.
+//!
+//! Both embedded JSON documents (`audit_json`, `metrics_json`) come
+//! from the zero-dependency renderers in `int-obs` and are byte-stable:
+//! identical across reruns and across `INT_EXP_THREADS` settings (the
+//! test below pins this).
+
+use crate::par;
+use crate::report;
+use crate::testbed::{Testbed, TestbedConfig};
+use int_apps::SchedulerApp;
+use int_core::{CoreConfig, Policy};
+use int_netsim::{FaultPlan, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Paper node issuing the scheduling queries (attached to sw9).
+const REQUESTER: usize = 7;
+/// Ring positions of the link that fails (same cut as `failover`).
+const FAIL_LINK: (usize, usize) = (9, 10);
+
+/// Probing intervals the audit grid covers (kept small — the point is
+/// the exported trail, not the sweep).
+pub fn default_intervals() -> Vec<SimDuration> {
+    vec![SimDuration::from_millis(100), SimDuration::from_millis(500)]
+}
+
+/// Count of one exclusion reason across a cell's recorded decisions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReasonCount {
+    /// Stable `ExcludeReason` label.
+    pub reason: String,
+    /// Exclusions carrying it.
+    pub count: u64,
+}
+
+/// One instrumented (policy × interval) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditCell {
+    /// Ranking policy.
+    pub policy: String,
+    /// Probing interval, seconds.
+    pub interval_s: f64,
+    /// Scheduling decisions recorded.
+    pub decisions: u64,
+    /// Candidate exclusions across all recorded decisions.
+    pub exclusions: u64,
+    /// Exclusions grouped by reason, alphabetical.
+    pub exclude_reasons: Vec<ReasonCount>,
+    /// Trace events the engine ring saw (pre-sampling/eviction).
+    pub trace_seen: u64,
+    /// Frames the engine delivered to hosts.
+    pub frames_delivered: u64,
+    /// Frames dropped, all causes (queue, data plane, faults, hosts).
+    pub drops: u64,
+    /// The scheduler's full decision audit trail
+    /// (`int_obs::DecisionAudit::to_json`), byte-stable.
+    pub audit_json: String,
+    /// The engine metrics snapshot
+    /// (`int_obs::MetricsRegistry::snapshot_json`), byte-stable.
+    pub metrics_json: String,
+}
+
+/// The exported artifact: one cell per grid point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditOutput {
+    /// All (policy × interval) cells.
+    pub cells: Vec<AuditCell>,
+}
+
+/// Run one instrumented cell: light every sink, warm up, cut the link,
+/// poll the ranking past the detection horizon, export. Also returns
+/// the simulator's event count for profiling.
+fn run_cell(seed: u64, policy: Policy, interval: SimDuration) -> (AuditCell, u64) {
+    let iv_ns = interval.as_nanos();
+
+    // Same horizon handling as the failover harness: let the testbed's
+    // interval scaling set eviction (10 intervals) and silence (5).
+    let mut core = CoreConfig::default();
+    core.eviction_horizon_ns = 0;
+    core.origin_silence_ns = 0;
+    core.qlen_window_ns = core.qlen_window_ns.max(iv_ns + 100_000_000);
+    core.staleness_ns = core.staleness_ns.max(2 * iv_ns);
+
+    let cfg = TestbedConfig {
+        seed,
+        policy,
+        probe_interval: interval,
+        core,
+        int_enabled: matches!(policy, Policy::IntDelay | Policy::IntBandwidth),
+        ..TestbedConfig::default()
+    };
+    let mut tb = Testbed::new(&cfg);
+
+    // Light the observability layer: metrics, trace ring (engine +
+    // data-plane programs), and the scheduler's decision audit.
+    tb.sim.metrics_mut().set_enabled(true);
+    tb.sim.set_tracing(true);
+    tb.sim
+        .app_mut::<SchedulerApp>(tb.scheduler, tb.scheduler_app)
+        .expect("scheduler app")
+        .set_audit_enabled(true);
+
+    let warm_ns = (5 * iv_ns).max(5_000_000_000);
+    let t_fail = SimTime::ZERO + SimDuration::from_nanos(warm_ns);
+    let t_end = t_fail + SimDuration::from_nanos(10 * iv_ns + (5 * iv_ns).max(5_000_000_000));
+
+    let (a, b) = (tb.switches[FAIL_LINK.0], tb.switches[FAIL_LINK.1]);
+    tb.sim.install_fault_plan(&FaultPlan::new().link_down(a, b, t_fail));
+
+    let requester = tb.node(REQUESTER).0;
+    let poll = SimDuration::from_millis(100);
+    let mut t = SimTime::ZERO + poll;
+    while t.as_nanos() <= t_end.as_nanos() {
+        tb.sim.run_until(t);
+        let app = tb
+            .sim
+            .app_mut::<SchedulerApp>(tb.scheduler, tb.scheduler_app)
+            .expect("scheduler app");
+        // With auditing on, every detailed ranking lands in the trail.
+        let _ = app.core_mut().rank_detailed_with(requester, policy, t.as_nanos());
+        t += poll;
+    }
+
+    let stats = tb.sim.stats();
+    let trace_seen = tb.sim.trace_ring().seen();
+    let metrics_json = tb.sim.metrics().snapshot_json();
+
+    let app = tb
+        .sim
+        .app::<SchedulerApp>(tb.scheduler, tb.scheduler_app)
+        .expect("scheduler app");
+    let audit = app.audit();
+    let mut by_reason: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut exclusions = 0u64;
+    for rec in audit.records() {
+        exclusions += rec.excluded.len() as u64;
+        for &(_, reason) in &rec.excluded {
+            *by_reason.entry(reason).or_insert(0) += 1;
+        }
+    }
+
+    let cell = AuditCell {
+        policy: policy.name().to_string(),
+        interval_s: interval.as_secs_f64(),
+        decisions: audit.total(),
+        exclusions,
+        exclude_reasons: by_reason
+            .into_iter()
+            .map(|(reason, count)| ReasonCount { reason: reason.to_string(), count })
+            .collect(),
+        trace_seen,
+        frames_delivered: stats.frames_delivered,
+        drops: stats.total_drops(),
+        audit_json: audit.to_json(),
+        metrics_json,
+    };
+    (cell, stats.events_processed)
+}
+
+/// Run the audit grid, parallelized like the figures.
+pub fn run(seed: u64, intervals: &[SimDuration]) -> AuditOutput {
+    run_with(par::threads(), seed, intervals)
+}
+
+/// [`run`] with an explicit worker count (determinism tests).
+pub fn run_with(workers: usize, seed: u64, intervals: &[SimDuration]) -> AuditOutput {
+    let policies = [Policy::IntDelay, Policy::Nearest];
+    let cells: Vec<(Policy, SimDuration)> = intervals
+        .iter()
+        .flat_map(|&iv| policies.iter().map(move |&p| (p, iv)))
+        .collect();
+    let (cells, profiles) =
+        par::parallel_map_profiled_with(workers, &cells, |&(p, iv)| run_cell(seed, p, iv));
+    par::report_profile("audit", &profiles);
+    AuditOutput { cells }
+}
+
+/// Render the per-cell summary table (the full trails live in the JSON).
+pub fn render(out: &AuditOutput) -> String {
+    let rows: Vec<Vec<String>> = out
+        .cells
+        .iter()
+        .map(|c| {
+            let reasons = if c.exclude_reasons.is_empty() {
+                "-".to_string()
+            } else {
+                c.exclude_reasons
+                    .iter()
+                    .map(|r| format!("{}×{}", r.reason, r.count))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            vec![
+                c.policy.clone(),
+                format!("{:.1}s", c.interval_s),
+                c.decisions.to_string(),
+                c.exclusions.to_string(),
+                reasons,
+                c.trace_seen.to_string(),
+                c.drops.to_string(),
+            ]
+        })
+        .collect();
+    report::table(
+        &["policy", "probe interval", "decisions", "exclusions", "reasons", "trace events", "drops"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The IntDelay cell must show post-cut exclusions with reasons, and
+    /// the telemetry-free baseline must still audit its decisions (all
+    /// candidates ranked, nothing excluded).
+    #[test]
+    fn audit_captures_exclusions_after_link_cut() {
+        let ivs = [SimDuration::from_millis(100)];
+        let out = run_with(1, 7, &ivs);
+        assert_eq!(out.cells.len(), 2);
+
+        let int = &out.cells[0];
+        assert_eq!(int.policy, "IntDelay");
+        assert!(int.decisions > 50, "polled every 100 ms: {}", int.decisions);
+        assert!(int.exclusions > 0, "link cut must exclude candidates");
+        assert!(!int.exclude_reasons.is_empty());
+        assert!(
+            int.audit_json.contains("\"reason\":\"NoFreshPath\"")
+                || int.audit_json.contains("\"reason\":\"OriginSilent\""),
+            "trail names the exclusion reason"
+        );
+        assert!(int.trace_seen > 0, "trace ring lit");
+        assert!(int.metrics_json.contains("sim.frames_delivered"));
+
+        let near = &out.cells[1];
+        assert_eq!(near.policy, "Nearest");
+        assert!(near.decisions > 50);
+        assert_eq!(near.exclusions, 0, "no telemetry, no exclusions");
+    }
+
+    /// Satellite: the exported artifact — including both embedded JSON
+    /// documents — is byte-identical between 1 and 4 workers.
+    #[test]
+    fn export_is_byte_identical_across_thread_counts() {
+        let ivs = [SimDuration::from_millis(100)];
+        let serial = run_with(1, 3, &ivs);
+        let parallel = run_with(4, 3, &ivs);
+        let a = serde_json::to_string(&serial).unwrap();
+        let b = serde_json::to_string(&parallel).unwrap();
+        assert_eq!(a, b, "audit artifact depends on thread count");
+    }
+}

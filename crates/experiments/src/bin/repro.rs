@@ -8,6 +8,7 @@
 //! repro fig8                # ECDF of per-task gain
 //! repro fig9                # probing-interval sweep
 //! repro failover            # link-failure detection & rescheduling
+//! repro audit               # instrumented failover cells + decision audit trail
 //! repro ablation-k          # conversion-factor sweep
 //! repro ablation-maxq       # queue-signal ablation
 //! repro ext-compute         # compute-aware extension demo
@@ -21,7 +22,7 @@
 //! (override with INT_RESULTS_DIR).
 
 use int_experiments::{
-    ablation, failover, fig3, fig5, fig6, fig7, fig8, fig9, overhead, report, tab1,
+    ablation, audit, failover, fig3, fig5, fig6, fig7, fig8, fig9, overhead, report, tab1,
 };
 use int_netsim::SimDuration;
 use std::time::Instant;
@@ -59,15 +60,15 @@ fn main() {
     }
 
     let Some(cmd) = cmd else {
-        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|failover|overhead|ablation-k|ablation-maxq|ext-compute> [--seed N] [--scale F]");
+        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|failover|audit|overhead|ablation-k|ablation-maxq|ext-compute> [--seed N] [--scale F]");
         std::process::exit(2);
     };
 
     match cmd.as_str() {
         "all" => {
             for c in [
-                "tab1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "failover", "overhead",
-                "ablation-k", "ablation-maxq", "ext-compute",
+                "tab1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "failover", "audit",
+                "overhead", "ablation-k", "ablation-maxq", "ext-compute",
             ] {
                 run_one(c, &opts);
             }
@@ -142,6 +143,17 @@ fn run_one(cmd: &str, opts: &Opts) {
             let out = failover::run_sweep(opts.seed, &ivs);
             println!("{}", failover::render(&out));
             save("failover", &out);
+        }
+        "audit" => {
+            // Same --scale handling as failover: trim the interval grid.
+            let mut ivs = audit::default_intervals();
+            if opts.scale < 1.0 {
+                let keep = ((ivs.len() as f64 * opts.scale).ceil() as usize).max(1);
+                ivs.truncate(keep);
+            }
+            let out = audit::run(opts.seed, &ivs);
+            println!("{}", audit::render(&out));
+            save("audit", &out);
         }
         "overhead" => {
             let d = SimDuration::from_secs(((120.0 * opts.scale) as u64).max(20));

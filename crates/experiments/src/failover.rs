@@ -78,14 +78,6 @@ pub struct FailoverOutput {
     pub points: Vec<FailoverPoint>,
 }
 
-fn policy_name(p: Policy) -> &'static str {
-    match p {
-        Policy::IntDelay => "IntDelay",
-        Policy::IntBandwidth => "IntBandwidth",
-        Policy::Nearest => "Nearest",
-        Policy::Random => "Random",
-    }
-}
 
 /// Run one cell: warm up, cut the link, poll the ranking until well past
 /// the detection horizon.
@@ -162,7 +154,7 @@ fn run_cell(seed: u64, policy: Policy, interval: SimDuration) -> FailoverPoint {
     }
 
     FailoverPoint {
-        policy: policy_name(policy).to_string(),
+        policy: policy.name().to_string(),
         interval_s: interval.as_secs_f64(),
         detect_ms: detect_ns.map(|ns| ns as f64 / 1e6),
         detect_intervals: detect_ns.map(|ns| ns as f64 / iv_ns as f64),

@@ -13,6 +13,7 @@
 //! | [`fig8`] | Fig. 8 — ECDF of per-task gain |
 //! | [`fig9`] | Fig. 9 — probing-interval sensitivity |
 //! | [`failover`] | link-failure detection & rescheduling (failure model, §"future work") |
+//! | [`audit`] | instrumented failover cells exporting the decision audit trail |
 //! | [`ablation`] | max-vs-instantaneous queue signal, k sweep, compute-aware |
 //! | [`overhead`] | probing overhead vs per-packet INT padding (§III-A) |
 //!
@@ -22,6 +23,7 @@
 //! rendering + JSON output).
 
 pub mod ablation;
+pub mod audit;
 pub mod compare;
 pub mod failover;
 pub mod par;

@@ -7,16 +7,22 @@
 //! live testbed:
 //!
 //! * the actual share of wire bytes spent on probes (all-pairs mode is
-//!   deliberately chattier than the paper's scheme — quantify it), and
+//!   deliberately chattier than the paper's scheme — quantify it),
+//! * the shares of scheduler control and ping traffic (a light
+//!   foreground workload keeps both classes populated), and
 //! * the hypothetical per-packet INT padding cost for the traffic that
 //!   actually flowed, per the paper's formula.
 
 use crate::report;
 use crate::runner::install_background;
 use crate::testbed::{Testbed, TestbedConfig, ProbeMode};
-use int_netsim::{SimDuration, SimTime, TrafficClass};
+use int_apps::{PingApp, TaskSubmitterApp};
+use int_netsim::{SimDuration, SimTime, Topology, TrafficClass};
 use int_packet::int::IntRecord;
-use int_workload::BackgroundScenario;
+use int_packet::msgs::RankingKind;
+use int_workload::{
+    BackgroundScenario, JobKind, JobSpec, TaskClass, WorkloadConfig, WorkloadGenerator,
+};
 use serde::{Deserialize, Serialize};
 
 /// Overhead measured for one probing mode.
@@ -32,6 +38,15 @@ pub struct OverheadRow {
     pub probe_share: f64,
     /// Probe offered rate network-wide, bit/s.
     pub probe_rate_bps: f64,
+    /// Wire bytes of scheduler/task control traffic (UDP and TCP forms
+    /// both count — see `TrafficClass::of_parsed`).
+    pub control_bytes: u64,
+    /// Control share of all wire bytes.
+    pub control_share: f64,
+    /// Wire bytes of echo (ping) traffic, requests and replies.
+    pub ping_bytes: u64,
+    /// Ping share of all wire bytes.
+    pub ping_share: f64,
     /// Hypothetical extra bytes if INT were instead padded onto every
     /// data packet for `avg_hops` switches (paper's alternative design).
     pub per_packet_int_bytes: u64,
@@ -69,11 +84,45 @@ fn measure(seed: u64, duration: SimDuration, mode: ProbeMode) -> OverheadRow {
         seed,
     );
     install_background(&mut tb, &flows);
+
+    // A light foreground so the Control and Ping classes carry real
+    // traffic (same classes a deployed testbed would see): every host
+    // pings its ring neighbour once per second, and a thin serverless
+    // job stream exercises the query/response scheduler path.
+    for (i, &h) in tb.hosts.iter().enumerate() {
+        let neighbour = tb.hosts[(i + 1) % tb.hosts.len()];
+        tb.sim.install_app(
+            h,
+            Box::new(PingApp::new(Topology::host_ip(neighbour), SimDuration::from_secs(1))),
+        );
+    }
+    let wl = WorkloadConfig {
+        total_tasks: ((duration.as_secs_f64() / 3.0) as usize).max(4),
+        kind: JobKind::Serverless,
+        submitters: nodes.clone(),
+        classes: vec![TaskClass::Small],
+        ..WorkloadConfig::default()
+    };
+    let jobs = WorkloadGenerator::new(seed).generate(&wl);
+    let scheduler_ip = Topology::host_ip(tb.scheduler);
+    for &host in &tb.hosts {
+        let mine: Vec<JobSpec> = jobs.iter().filter(|j| j.submitter == host.0).cloned().collect();
+        if !mine.is_empty() {
+            tb.sim.install_app(
+                host,
+                Box::new(TaskSubmitterApp::new(scheduler_ip, RankingKind::Delay, mine)),
+            );
+        }
+    }
+
     tb.sim.run_until(SimTime::ZERO + duration);
 
     let acc = tb.sim.traffic();
     let probe_bytes = acc.class(TrafficClass::Probe).bytes;
+    let control_bytes = acc.class(TrafficClass::Control).bytes;
+    let ping_bytes = acc.class(TrafficClass::Ping).bytes;
     let total_bytes = acc.total_bytes();
+    let share = |bytes: u64| if total_bytes == 0 { 0.0 } else { bytes as f64 / total_bytes as f64 };
 
     // The paper's alternative: pad each non-probe packet with one INT
     // record per switch hop. Average path ≈ 4 switches on this testbed.
@@ -93,14 +142,14 @@ fn measure(seed: u64, duration: SimDuration, mode: ProbeMode) -> OverheadRow {
         mode: format!("{mode:?}"),
         probe_bytes,
         total_bytes,
-        probe_share: if total_bytes == 0 { 0.0 } else { probe_bytes as f64 / total_bytes as f64 },
+        probe_share: share(probe_bytes),
         probe_rate_bps: probe_bytes as f64 * 8.0 / duration.as_secs_f64(),
+        control_bytes,
+        control_share: share(control_bytes),
+        ping_bytes,
+        ping_share: share(ping_bytes),
         per_packet_int_bytes,
-        per_packet_int_share: if total_bytes == 0 {
-            0.0
-        } else {
-            per_packet_int_bytes as f64 / total_bytes as f64
-        },
+        per_packet_int_share: share(per_packet_int_bytes),
     }
 }
 
@@ -126,12 +175,21 @@ pub fn render(out: &OverheadOutput) -> String {
                 r.mode.clone(),
                 format!("{:.1} kbit/s", r.probe_rate_bps / 1e3),
                 format!("{:.2}%", r.probe_share * 100.0),
+                format!("{:.3}%", r.control_share * 100.0),
+                format!("{:.3}%", r.ping_share * 100.0),
                 format!("{:.2}%", r.per_packet_int_share * 100.0),
             ]
         })
         .collect();
     report::table(
-        &["probing mode", "probe rate", "probe share of wire bytes", "per-packet INT alternative"],
+        &[
+            "probing mode",
+            "probe rate",
+            "probe share of wire bytes",
+            "control share",
+            "ping share",
+            "per-packet INT alternative",
+        ],
         &rows,
     )
 }
@@ -154,5 +212,22 @@ mod tests {
         }
         // All-pairs is chattier than scheduler-only, by design.
         assert!(out.rows[1].probe_bytes > out.rows[0].probe_bytes);
+    }
+
+    #[test]
+    fn per_class_breakdown_is_consistent() {
+        let out = run(1, SimDuration::from_secs(20));
+        for r in &out.rows {
+            assert!(r.ping_bytes > 0, "{}: echo traffic flowed", r.mode);
+            assert!(r.control_bytes > 0, "{}: scheduler control traffic flowed", r.mode);
+            assert!(
+                r.probe_bytes + r.control_bytes + r.ping_bytes <= r.total_bytes,
+                "{}: class bytes are a partition of the total",
+                r.mode
+            );
+            let eps = 1e-12;
+            assert!((r.control_share - r.control_bytes as f64 / r.total_bytes as f64).abs() < eps);
+            assert!((r.ping_share - r.ping_bytes as f64 / r.total_bytes as f64).abs() < eps);
+        }
     }
 }

@@ -29,6 +29,7 @@ use int_dataplane::{
     DataPlaneProgram, EgressCtx, EnqueueCtx, Frame, IngressCtx, IngressVerdict,
     IntProgramConfig, IntTelemetryProgram,
 };
+use int_obs::{DropReason, Labels, MetricsRegistry, TraceEvent, TraceKind, TraceRing};
 use int_packet::{L4View, PacketBuilder, TcpHeader};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -118,6 +119,13 @@ pub struct Simulator {
     /// Scratch op buffers for app callbacks. A stack (not a single buffer)
     /// because callbacks re-enter: `invoke_app` → `flush_tcp` → `invoke_app`.
     ops_free: Vec<Vec<AppOp>>,
+    /// Deterministic metrics registry (disabled by default: every record
+    /// call is one branch; see DESIGN.md §5.3).
+    metrics: MetricsRegistry,
+    /// Typed trace-event ring (disabled by default).
+    trace: TraceRing,
+    /// Scratch for draining data-plane program trace buffers.
+    trace_scratch: Vec<TraceEvent>,
 }
 
 impl Simulator {
@@ -188,6 +196,9 @@ impl Simulator {
             pool: BufPool::new(),
             faults: None,
             ops_free: Vec::new(),
+            metrics: MetricsRegistry::new(),
+            trace: TraceRing::default(),
+            trace_scratch: Vec::new(),
         }
     }
 
@@ -255,6 +266,38 @@ impl Simulator {
     /// Turn per-frame traffic accounting on or off at runtime.
     pub fn set_account_traffic(&mut self, on: bool) {
         self.cfg.account_traffic = on;
+    }
+
+    /// The metrics registry (disabled by default).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry (enable it, read series).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// The trace-event ring (disabled by default).
+    pub fn trace_ring(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Mutable access to the trace ring (sampling, capacity via rebuild).
+    pub fn trace_ring_mut(&mut self) -> &mut TraceRing {
+        &mut self.trace
+    }
+
+    /// Enable (or disable) trace-event recording engine-wide: flips the
+    /// ring *and* tells every switch data-plane program to buffer its
+    /// probe-harvest / register-reset events for draining.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+        for node in &mut self.nodes {
+            if let NodeState::Switch(sw) = node {
+                sw.program.set_tracing(on);
+            }
+        }
     }
 
     /// The topology this simulator runs.
@@ -367,8 +410,45 @@ impl Simulator {
                 if let Some(f) = &mut self.faults {
                     f.apply(action);
                 }
+                self.trace_fault(action);
             }
         }
+    }
+
+    /// Record one drop in the metrics registry and trace ring (both
+    /// disabled by default — two predictable branches on the hot path).
+    fn note_drop(&mut self, node: NodeId, port: PortId, reason: DropReason) {
+        self.metrics.counter_inc("sim.drops", Labels::one("node", node.0 as u64));
+        self.trace.push(
+            self.now.as_nanos(),
+            TraceKind::Drop { node: node.0, port: port as u8, reason },
+        );
+    }
+
+    /// A frame died at a host (no binding, bad parse, misaddressed).
+    fn drop_at_host(&mut self, node: NodeId) {
+        self.stats.drops_host += 1;
+        self.note_drop(node, 0, DropReason::HostUnbound);
+    }
+
+    /// Record a fault-plan transition in the trace ring.
+    fn trace_fault(&mut self, action: crate::fault::FaultAction) {
+        use crate::fault::FaultAction::*;
+        let (label, subject, peer) = match action {
+            LinkDown(l) => {
+                let spec = self.topo.link(l);
+                ("link_down", spec.a.0 .0, spec.b.0 .0)
+            }
+            LinkUp(l) => {
+                let spec = self.topo.link(l);
+                ("link_up", spec.a.0 .0, spec.b.0 .0)
+            }
+            SwitchFail(n) => ("switch_fail", n.0, u32::MAX),
+            SwitchRecover(n) => ("switch_recover", n.0, u32::MAX),
+        };
+        self.metrics.counter_inc("sim.faults", Labels::none());
+        self.trace
+            .push(self.now.as_nanos(), TraceKind::Fault { action: label, subject, peer });
     }
 
     fn handle_arrive(&mut self, node: NodeId, port: PortId, mut frame: Box<Frame>) {
@@ -378,11 +458,13 @@ impl Simulator {
             let link = self.topo.node(node).ports[port as usize].link;
             if !f.link_is_up(link) {
                 self.stats.drops_link_down += 1;
+                self.note_drop(node, port, DropReason::LinkDown);
                 self.pool.recycle(frame);
                 return;
             }
             if !f.node_is_up(node) {
                 self.stats.drops_switch_down += 1;
+                self.note_drop(node, port, DropReason::SwitchDown);
                 self.pool.recycle(frame);
                 return;
             }
@@ -394,10 +476,13 @@ impl Simulator {
                 match sw.program.ingress(&mut frame, &ictx) {
                     IngressVerdict::Forward(eport) => {
                         self.stats.frames_forwarded += 1;
+                        self.metrics
+                            .counter_inc("sim.frames_forwarded", Labels::one("node", node.0 as u64));
                         self.enqueue(node, eport, frame);
                     }
                     IngressVerdict::Drop => {
                         self.stats.drops_dataplane += 1;
+                        self.note_drop(node, port, DropReason::DataPlane);
                         self.pool.recycle(frame);
                     }
                 }
@@ -435,8 +520,24 @@ impl Simulator {
         };
         if let Some(dropped) = rejected {
             self.stats.drops_queue_full += 1;
+            self.note_drop(node, port, DropReason::QueueFull);
             self.pool.recycle(dropped);
             return;
+        }
+        if self.metrics.enabled() || self.trace.enabled() {
+            let depth = match &self.nodes[node.0 as usize] {
+                NodeState::Host(h) => h.ports[port as usize].queue.depth_pkts(),
+                NodeState::Switch(s) => s.ports[port as usize].queue.depth_pkts(),
+            } as u32;
+            self.metrics.histogram_record(
+                "sim.queue_depth_pkts",
+                Labels::two("node", node.0 as u64, "port", port as u64),
+                depth as u64,
+            );
+            self.trace.push(
+                now_ns,
+                TraceKind::Enqueue { node: node.0, port: port as u8, depth_pkts: depth },
+            );
         }
         if !self.port_transmitting(node, port) {
             self.start_tx(node, port);
@@ -467,12 +568,13 @@ impl Simulator {
     /// Dequeue the head frame, run egress processing, and put it on the wire.
     fn start_tx(&mut self, node: NodeId, port: PortId) {
         let now_ns = self.now.as_nanos();
-        let (mut frame, egress_rate) = match &mut self.nodes[node.0 as usize] {
+        let (mut frame, egress_rate, qdepth_after) = match &mut self.nodes[node.0 as usize] {
             NodeState::Host(h) => {
                 let ps = &mut h.ports[port as usize];
                 let Some(frame) = ps.queue.dequeue() else { return };
                 ps.transmitting = true;
-                (frame, None)
+                let qdepth = ps.queue.depth_pkts() as u32;
+                (frame, None, qdepth)
             }
             NodeState::Switch(s) => {
                 let ps = &mut s.ports[port as usize];
@@ -486,9 +588,25 @@ impl Simulator {
                     qdepth_at_deq_pkts: qdepth,
                 };
                 s.program.egress(&mut frame, &ectx);
-                (frame, s.egress_rate_bps)
+                (frame, s.egress_rate_bps, qdepth)
             }
         };
+        if self.trace.enabled() {
+            self.trace.push(
+                now_ns,
+                TraceKind::Dequeue { node: node.0, port: port as u8, depth_pkts: qdepth_after },
+            );
+            // Pull any probe-harvest / register-reset events the egress
+            // hook buffered inside the data-plane program.
+            if let NodeState::Switch(s) = &mut self.nodes[node.0 as usize] {
+                s.program.drain_trace(&mut self.trace_scratch);
+            }
+            for i in 0..self.trace_scratch.len() {
+                let ev = self.trace_scratch[i];
+                self.trace.push(ev.at_ns, ev.kind);
+            }
+            self.trace_scratch.clear();
+        }
         frame.meta.clear_per_hop();
         if self.cfg.account_traffic {
             // Classification reuses the frame's cached parse when present
@@ -513,22 +631,29 @@ impl Simulator {
         // queues behind a dead link drain at line rate instead of wedging.
         self.events.push(self.now + tx, Event::TxDone { node, port });
 
-        if let Some(f) = &mut self.faults {
-            let counter = if !f.node_is_up(node) {
+        let fault_drop = if let Some(f) = &mut self.faults {
+            if !f.node_is_up(node) {
                 // A failed switch drains its queues into the void.
-                Some(&mut self.stats.drops_switch_down)
+                Some(DropReason::SwitchDown)
             } else if !f.link_is_up(binding.link) {
-                Some(&mut self.stats.drops_link_down)
+                Some(DropReason::LinkDown)
             } else if f.roll_loss(binding.link) {
-                Some(&mut self.stats.drops_link_loss)
+                Some(DropReason::LinkLoss)
             } else {
                 None
-            };
-            if let Some(c) = counter {
-                *c += 1;
-                self.pool.recycle(frame);
-                return;
             }
+        } else {
+            None
+        };
+        if let Some(reason) = fault_drop {
+            match reason {
+                DropReason::SwitchDown => self.stats.drops_switch_down += 1,
+                DropReason::LinkDown => self.stats.drops_link_down += 1,
+                _ => self.stats.drops_link_loss += 1,
+            }
+            self.note_drop(node, port, reason);
+            self.pool.recycle(frame);
+            return;
         }
 
         self.events.push(
@@ -542,12 +667,12 @@ impl Simulator {
         // payload straight out of its buffer — no copies on delivery. Every
         // exit recycles the frame into the pool.
         let Ok(parsed) = frame.parsed() else {
-            self.stats.drops_host += 1;
+            self.drop_at_host(node);
             self.pool.recycle(frame);
             return;
         };
         let Some(ip) = parsed.ip else {
-            self.stats.drops_host += 1;
+            self.drop_at_host(node);
             self.pool.recycle(frame);
             return;
         };
@@ -556,7 +681,7 @@ impl Simulator {
             _ => unreachable!("deliver_to_host on a switch"),
         };
         if ip.dst != host_ip {
-            self.stats.drops_host += 1;
+            self.drop_at_host(node);
             self.pool.recycle(frame);
             return;
         }
@@ -573,11 +698,13 @@ impl Simulator {
                     _ => unreachable!(),
                 };
                 let Some(app_idx) = app_idx else {
-                    self.stats.drops_host += 1;
+                    self.drop_at_host(node);
                     self.pool.recycle(frame);
                     return;
                 };
                 self.stats.frames_delivered += 1;
+                self.metrics
+                    .counter_inc("sim.frames_delivered", Labels::one("node", node.0 as u64));
                 let payload = parsed.payload(&frame.bytes);
                 let (src, sport, dport) = (ip.src, udp.src_port, udp.dst_port);
                 self.invoke_app(node, app_idx, move |app, ctx| {
@@ -587,6 +714,8 @@ impl Simulator {
             }
             Some(L4View::Tcp(tcp)) => {
                 self.stats.frames_delivered += 1;
+                self.metrics
+                    .counter_inc("sim.frames_delivered", Labels::one("node", node.0 as u64));
                 let now = self.now;
                 if let NodeState::Host(h) = &mut self.nodes[node.0 as usize] {
                     h.tcp.on_segment(now, ip.src, &tcp, parsed.payload(&frame.bytes));
@@ -596,7 +725,7 @@ impl Simulator {
             }
             None => {
                 // Parsed as IP but no usable L4 — host drop.
-                self.stats.drops_host += 1;
+                self.drop_at_host(node);
                 self.pool.recycle(frame);
             }
         }
@@ -1299,6 +1428,76 @@ mod tests {
             "every lost frame went back to the pool: {pool:?} vs {stats:?}"
         );
         assert_eq!((stats, pool, delivered), run(11), "identical seeds replay identically");
+    }
+
+    /// Observability layer end-to-end: disabled by default (no series, no
+    /// events), captures queue/drop/fault/harvest events once enabled, and
+    /// renders byte-identical JSON for identical seeds.
+    #[test]
+    fn observability_is_off_by_default_and_deterministic_when_on() {
+        use int_obs::TraceKind;
+
+        let run = |instrument: bool| {
+            let (t, h1, s1, h2) = line_topo();
+            let mut sim = Simulator::new(t, cfg());
+            if instrument {
+                sim.metrics_mut().set_enabled(true);
+                sim.set_tracing(true);
+            }
+            sim.install_app(
+                h1,
+                Box::new(CbrUdp {
+                    dst: Topology::host_ip(h2),
+                    dst_port: 5001,
+                    payload: 100,
+                    period: SimDuration::from_millis(100),
+                    until: SimTime::ZERO + SimDuration::from_secs(3),
+                }),
+            );
+            sim.install_app(h2, Box::new(UdpSink::default()));
+            sim.install_app(h1, Box::new(OneProbe { dst: Topology::host_ip(h2) }));
+            sim.install_app(h2, Box::new(ProbeSink::default()));
+            sim.install_fault_plan(
+                &FaultPlan::new()
+                    .link_down(h1, s1, SimTime::ZERO + SimDuration::from_secs(1))
+                    .link_up(h1, s1, SimTime::ZERO + SimDuration::from_secs(2)),
+            );
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+            sim
+        };
+
+        let dark = run(false);
+        assert_eq!(dark.metrics().series(), 0, "disabled registry stays empty");
+        assert_eq!(dark.trace_ring().seen(), 0, "disabled ring sees nothing");
+
+        let lit = run(true);
+        assert!(
+            lit.metrics().counter("sim.frames_delivered", Labels::one("node", 2)) > 10,
+            "deliveries counted per node"
+        );
+        assert!(
+            lit.metrics().counter("sim.drops", Labels::one("node", 0)) > 0,
+            "link-down drops counted at the transmitting node"
+        );
+        let kinds: Vec<&'static str> = lit.trace_ring().iter().map(|e| e.kind.label()).collect();
+        for expected in ["enqueue", "dequeue", "drop", "fault", "probe_harvest", "register_reset"] {
+            assert!(kinds.contains(&expected), "ring holds a {expected} event: {kinds:?}");
+        }
+        assert!(
+            lit.trace_ring().iter().any(|e| matches!(
+                e.kind,
+                TraceKind::Fault { action: "link_down", subject: 0, peer: 1 }
+            )),
+            "fault event names the link endpoints"
+        );
+
+        // Same seed ⇒ byte-identical exports.
+        let again = run(true);
+        assert_eq!(lit.metrics().snapshot_json(), again.metrics().snapshot_json());
+        assert_eq!(lit.trace_ring().to_json(), again.trace_ring().to_json());
+
+        // Engine behaviour is identical with and without instrumentation.
+        assert_eq!(dark.stats(), lit.stats(), "observability never perturbs the schedule");
     }
 
     #[test]

@@ -38,7 +38,9 @@ impl DropTailQueue {
 
     /// Try to enqueue. Returns `None` on success; when the queue is full
     /// the drop is counted and the frame comes back to the caller (so its
-    /// buffer can be recycled instead of freed).
+    /// buffer can be recycled instead of freed). Ignoring the returned
+    /// frame silently leaks a pooled buffer, hence `#[must_use]`.
+    #[must_use = "a rejected frame must be recycled, not dropped"]
     pub fn enqueue(&mut self, frame: Box<Frame>) -> Option<Box<Frame>> {
         if self.frames.len() >= self.cap_pkts {
             self.stats.dropped += 1;
@@ -94,9 +96,9 @@ mod tests {
     #[test]
     fn fifo_order() {
         let mut q = DropTailQueue::new(10);
-        q.enqueue(frame(1));
-        q.enqueue(frame(2));
-        q.enqueue(frame(3));
+        assert!(q.enqueue(frame(1)).is_none());
+        assert!(q.enqueue(frame(2)).is_none());
+        assert!(q.enqueue(frame(3)).is_none());
         assert_eq!(q.dequeue().unwrap().wire_len(), 1);
         assert_eq!(q.dequeue().unwrap().wire_len(), 2);
         assert_eq!(q.dequeue().unwrap().wire_len(), 3);
@@ -121,8 +123,8 @@ mod tests {
     #[test]
     fn stats_track_bytes_and_max_depth() {
         let mut q = DropTailQueue::new(5);
-        q.enqueue(frame(100));
-        q.enqueue(frame(50));
+        assert!(q.enqueue(frame(100)).is_none());
+        assert!(q.enqueue(frame(50)).is_none());
         assert_eq!(q.stats().bytes, 150);
         assert_eq!(q.stats().max_depth_pkts, 2);
         q.dequeue();

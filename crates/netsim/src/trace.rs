@@ -41,6 +41,15 @@ impl TrafficClass {
             Some(L4View::Tcp(t)) => {
                 if t.dst_port == TASK_UDP_PORT || t.src_port == TASK_UDP_PORT {
                     TrafficClass::TaskData
+                } else if t.dst_port == SCHEDULER_UDP_PORT
+                    || t.src_port == SCHEDULER_UDP_PORT
+                    || t.dst_port == SCHED_CLIENT_UDP_PORT
+                    || t.src_port == SCHED_CLIENT_UDP_PORT
+                {
+                    // Scheduler/control traffic carried over TCP counts as
+                    // Control just like its UDP form; without this it fell
+                    // through to Other and skewed the overhead shares.
+                    TrafficClass::Control
                 } else {
                     TrafficClass::Other
                 }
@@ -51,7 +60,9 @@ impl TrafficClass {
                     TrafficClass::Control
                 }
                 ECHO_UDP_PORT => TrafficClass::Ping,
-                p if u.src_port == ECHO_UDP_PORT || p == ECHO_UDP_PORT => TrafficClass::Ping,
+                // Ping replies: identified by source port only (the prior
+                // arm already matched every dst_port == ECHO_UDP_PORT).
+                _ if u.src_port == ECHO_UDP_PORT => TrafficClass::Ping,
                 _ => TrafficClass::Background,
             },
             None => TrafficClass::Other,
@@ -158,6 +169,38 @@ mod tests {
         assert_eq!(TrafficClass::of(&ping), TrafficClass::Ping);
         let pong = builder().udp(ECHO_UDP_PORT, 42000, &[0; 17]);
         assert_eq!(TrafficClass::of(&pong), TrafficClass::Ping);
+    }
+
+    /// Regression (ISSUE 3): a ping *reply* is recognized by its source
+    /// port alone — dst is the requester's ephemeral port — and an
+    /// unrelated datagram whose ports are both ephemeral stays Background.
+    #[test]
+    fn ping_reply_classified_by_src_port_only() {
+        let reply = builder().udp(ECHO_UDP_PORT, 51123, &[0; 17]);
+        assert_eq!(TrafficClass::of(&reply), TrafficClass::Ping);
+        let unrelated = builder().udp(51123, 51124, &[0; 17]);
+        assert_eq!(TrafficClass::of(&unrelated), TrafficClass::Background);
+    }
+
+    /// Regression (ISSUE 3): scheduler/control ports over TCP are Control,
+    /// in both directions, not Other.
+    #[test]
+    fn tcp_on_control_ports_is_control() {
+        let hdr = TcpHeader {
+            src_port: 40000,
+            dst_port: SCHEDULER_UDP_PORT,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            window: 100,
+        };
+        assert_eq!(TrafficClass::of(&builder().tcp(hdr, &[1])), TrafficClass::Control);
+        let from_sched = TcpHeader { src_port: SCHEDULER_UDP_PORT, dst_port: 40000, ..hdr };
+        assert_eq!(TrafficClass::of(&builder().tcp(from_sched, &[])), TrafficClass::Control);
+        let client = TcpHeader { src_port: 40000, dst_port: SCHED_CLIENT_UDP_PORT, ..hdr };
+        assert_eq!(TrafficClass::of(&builder().tcp(client, &[])), TrafficClass::Control);
+        let other = TcpHeader { src_port: 40000, dst_port: 40001, ..hdr };
+        assert_eq!(TrafficClass::of(&builder().tcp(other, &[])), TrafficClass::Other);
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Deterministic metrics registry: counters, gauges and histograms keyed
+//! by a `'static` name plus a small label set, timestamped in **sim
+//! time** (never wall clock), owned per instrumented component (one per
+//! `Simulator`) — no global state, no interior mutability.
+//!
+//! Determinism rules (DESIGN.md §5.3):
+//! * values are integers only — no float accumulation order to worry
+//!   about;
+//! * storage is a `BTreeMap` so the JSON snapshot iterates in one fixed
+//!   order regardless of insertion order;
+//! * a **disabled** registry (the default) returns from every `record`
+//!   call after a single branch, so the hot path of an uninstrumented
+//!   simulation pays ~one predictable branch per event.
+
+use crate::json::JsonBuf;
+use std::collections::BTreeMap;
+
+/// Up to two `(key, value)` integer labels attached to a series.
+///
+/// Two is enough for every site in this workspace (`node` + `port`);
+/// keeping the set inline and `Copy` means building a key allocates
+/// nothing. Label *keys* are `'static` by construction so a series name
+/// can never be built from runtime strings (another determinism rule —
+/// and it keeps the record path allocation-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Labels {
+    labels: [Option<(&'static str, u64)>; 2],
+}
+
+impl Labels {
+    /// No labels.
+    pub const fn none() -> Self {
+        Self { labels: [None, None] }
+    }
+
+    /// One label.
+    pub const fn one(k: &'static str, v: u64) -> Self {
+        Self { labels: [Some((k, v)), None] }
+    }
+
+    /// Two labels.
+    pub const fn two(k1: &'static str, v1: u64, k2: &'static str, v2: u64) -> Self {
+        Self { labels: [Some((k1, v1)), Some((k2, v2))] }
+    }
+
+    /// Render as `{k=v,k=v}`, or the empty string when unlabelled.
+    fn suffix(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in self.labels.iter().flatten() {
+            s.push(if s.is_empty() { '{' } else { ',' });
+            s.push_str(k);
+            s.push('=');
+            s.push_str(&v.to_string());
+        }
+        if !s.is_empty() {
+            s.push('}');
+        }
+        s
+    }
+}
+
+type Key = (&'static str, Labels);
+
+/// A gauge sample: last value and the sim time it was set.
+#[derive(Debug, Clone, Copy)]
+struct Gauge {
+    value: i64,
+    at_ns: u64,
+}
+
+/// Power-of-two bucketed histogram (bucket `i` counts values whose
+/// bit-length is `i`, i.e. `0`, `1`, `2–3`, `4–7`, …). Coarse, but
+/// integer-exact and fixed-shape, which is what the determinism
+/// guarantee needs.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self { count: 0, sum: 0, min: 0, max: 0, buckets: [0; 65] }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+}
+
+/// The registry. One per instrumented component; dropped with it.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, Gauge>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// A disabled registry: every record call is a single branch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable or disable recording. Series recorded so far are kept.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Is the registry recording?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add `delta` to a counter.
+    #[inline]
+    pub fn counter_add(&mut self, name: &'static str, labels: Labels, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.counters.entry((name, labels)).or_insert(0) += delta;
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn counter_inc(&mut self, name: &'static str, labels: Labels) {
+        self.counter_add(name, labels, 1);
+    }
+
+    /// Set a gauge to `value` at sim time `at_ns`.
+    #[inline]
+    pub fn gauge_set(&mut self, name: &'static str, labels: Labels, value: i64, at_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges.insert((name, labels), Gauge { value, at_ns });
+    }
+
+    /// Record one histogram observation.
+    #[inline]
+    pub fn histogram_record(&mut self, name: &'static str, labels: Labels, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms.entry((name, labels)).or_default().record(value);
+    }
+
+    /// Current value of a counter (0 when never recorded).
+    pub fn counter(&self, name: &'static str, labels: Labels) -> u64 {
+        self.counters.get(&(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &'static str, labels: Labels) -> Option<i64> {
+        self.gauges.get(&(name, labels)).map(|g| g.value)
+    }
+
+    /// Histogram for a series, if any observation was recorded.
+    pub fn histogram(&self, name: &'static str, labels: Labels) -> Option<&Histogram> {
+        self.histograms.get(&(name, labels))
+    }
+
+    /// Number of live series across all kinds.
+    pub fn series(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Deterministic JSON snapshot.
+    ///
+    /// Series keys flatten to `name{k=v,k=v}`; kinds are grouped under
+    /// `"counters"` / `"gauges"` / `"histograms"`; everything iterates
+    /// `BTreeMap` order, so two registries holding the same data render
+    /// byte-identically.
+    pub fn snapshot_json(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.obj_open();
+        j.key("counters").obj_open();
+        for ((name, labels), v) in &self.counters {
+            j.key(&format!("{name}{}", labels.suffix())).u64(*v);
+        }
+        j.obj_close();
+        j.key("gauges").obj_open();
+        for ((name, labels), g) in &self.gauges {
+            j.key(&format!("{name}{}", labels.suffix()));
+            j.obj_open();
+            j.key("value").i64(g.value);
+            j.key("at_ns").u64(g.at_ns);
+            j.obj_close();
+        }
+        j.obj_close();
+        j.key("histograms").obj_open();
+        for ((name, labels), h) in &self.histograms {
+            j.key(&format!("{name}{}", labels.suffix()));
+            j.obj_open();
+            j.key("count").u64(h.count);
+            j.key("sum").u64(h.sum);
+            j.key("min").u64(h.min);
+            j.key("max").u64(h.max);
+            j.key("log2_buckets").obj_open();
+            for (i, n) in h.buckets.iter().enumerate() {
+                if *n > 0 {
+                    j.key(&i.to_string()).u64(*n);
+                }
+            }
+            j.obj_close();
+            j.obj_close();
+        }
+        j.obj_close();
+        j.obj_close();
+        j.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = MetricsRegistry::new();
+        m.counter_inc("x", Labels::none());
+        m.gauge_set("g", Labels::none(), 5, 1);
+        m.histogram_record("h", Labels::none(), 9);
+        assert_eq!(m.series(), 0);
+        assert_eq!(m.counter("x", Labels::none()), 0);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let mut m = MetricsRegistry::new();
+        m.set_enabled(true);
+        m.counter_add("frames", Labels::one("node", 3), 2);
+        m.counter_inc("frames", Labels::one("node", 3));
+        m.gauge_set("depth", Labels::two("node", 1, "port", 0), -4, 77);
+        m.histogram_record("qlen", Labels::none(), 0);
+        m.histogram_record("qlen", Labels::none(), 7);
+        assert_eq!(m.counter("frames", Labels::one("node", 3)), 3);
+        assert_eq!(m.gauge("depth", Labels::two("node", 1, "port", 0)), Some(-4));
+        let h = m.histogram("qlen", Labels::none()).unwrap();
+        assert_eq!((h.count(), h.sum(), h.max()), (2, 7, 7));
+    }
+
+    #[test]
+    fn snapshot_is_order_independent() {
+        let build = |order_flip: bool| {
+            let mut m = MetricsRegistry::new();
+            m.set_enabled(true);
+            let keys = if order_flip { ["b", "a"] } else { ["a", "b"] };
+            for k in keys {
+                m.counter_inc(if k == "a" { "a" } else { "b" }, Labels::none());
+            }
+            m.snapshot_json()
+        };
+        assert_eq!(build(false), build(true));
+        assert_eq!(
+            build(false),
+            r#"{"counters":{"a":1,"b":1},"gauges":{},"histograms":{}}"#
+        );
+    }
+
+    #[test]
+    fn label_suffix_renders_in_key() {
+        let mut m = MetricsRegistry::new();
+        m.set_enabled(true);
+        m.counter_inc("drops", Labels::two("node", 2, "port", 1));
+        assert!(m.snapshot_json().contains(r#""drops{node=2,port=1}":1"#));
+    }
+}

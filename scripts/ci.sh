@@ -33,4 +33,27 @@ grep -A2 '"policy": "IntDelay"' "$smoke_dir/failover.json" \
     | grep -q '"detect_ms": [0-9]' \
     || { echo "failover smoke: no finite detect_ms for IntDelay"; exit 1; }
 
+echo "== audit export (smoke)"
+# Tiny instrumented cell: the exported artifact and both embedded JSON
+# documents (decision audit trail, metrics snapshot) must parse, and the
+# IntDelay cell must name at least one ExcludeReason after the link cut.
+INT_RESULTS_DIR="$smoke_dir" INT_EXP_THREADS=1 \
+    cargo run --release -q -p int-experiments --bin repro -- audit --seed 1 --scale 0.5
+python3 - "$smoke_dir/audit.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+cells = doc["cells"]
+assert cells, "no audit cells"
+for c in cells:
+    trail = json.loads(c["audit_json"])
+    json.loads(c["metrics_json"])
+    assert trail["total"] == c["decisions"], "trail total mismatch"
+assert any(
+    r["reason"] in ("NoFreshPath", "OriginSilent")
+    for c in cells if c["policy"] == "IntDelay"
+    for r in c["exclude_reasons"]
+), "no ExcludeReason in the IntDelay cell after the link cut"
+print("audit smoke OK: %d decisions audited" % sum(c["decisions"] for c in cells))
+EOF
+
 echo "CI OK"

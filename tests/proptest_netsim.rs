@@ -100,7 +100,10 @@ proptest! {
         let mut dequeued = 0u64;
         for push in ops {
             if push {
-                q.enqueue(Box::new(int_edge_sched::dataplane::Frame::new(bytes::BytesMut::from(&[0u8; 10][..]))));
+                let frame = Box::new(int_edge_sched::dataplane::Frame::new(bytes::BytesMut::from(&[0u8; 10][..])));
+                let was_full = q.depth_pkts() == cap;
+                // A full queue hands the frame back instead of leaking it.
+                prop_assert_eq!(q.enqueue(frame).is_some(), was_full);
             } else if q.dequeue().is_some() {
                 dequeued += 1;
             }
