@@ -35,19 +35,38 @@ fn probe_frame() -> Frame {
     Frame::new(b)
 }
 
-fn bench_lpm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lpm_lookup");
-    for n in [8usize, 64, 256] {
+fn bench_flow_table(c: &mut Criterion) {
+    // Flow-table microbench (PR 4, results/bench_pr4.json): the indexed
+    // lookup against the reference linear scan at 8, 64, and 512 installed
+    // /32 routes. Probes rotate through every installed route so the
+    // single-entry caches upstream can't mask the table cost.
+    let mut g = c.benchmark_group("flow_table");
+    for n in [8usize, 64, 512] {
         let mut t = MatchActionTable::new("fwd", MatchKind::Lpm);
-        for i in 0..n as u32 {
-            t.insert(
-                Key::Lpm { value: (0x0A000000u32 + i * 7).to_be_bytes().to_vec(), prefix_len: 32 },
-                i as u16,
-            );
+        let keys: Vec<[u8; 4]> =
+            (0..n as u32).map(|i| (0x0A000000u32 + i * 7).to_be_bytes()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            t.insert(Key::Lpm { value: k.to_vec(), prefix_len: 32 }, i as u16);
         }
-        let key = (0x0A000000u32 + (n as u32 / 2) * 7).to_be_bytes();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &key, |b, k| {
-            b.iter(|| black_box(t.lookup(black_box(k))))
+        g.bench_with_input(BenchmarkId::new("lpm_indexed", n), &keys, |b, keys| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                if i == keys.len() {
+                    i = 0;
+                }
+                black_box(t.lookup(black_box(&keys[i])))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lpm_linear", n), &keys, |b, keys| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                if i == keys.len() {
+                    i = 0;
+                }
+                black_box(t.lookup_linear(black_box(&keys[i])))
+            })
         });
     }
     g.finish();
@@ -128,7 +147,7 @@ fn bench_probe_wire_growth(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_lpm,
+    bench_flow_table,
     bench_ingress,
     bench_probe_augment,
     bench_registers,

@@ -28,6 +28,28 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+fn bench_event_queue_far(c: &mut Criterion) {
+    // Same push/pop churn with times spread across 10 simulated seconds:
+    // most pushes land past the wheel's ~4.29 s L1 horizon and transit the
+    // overflow heap, then promote level by level on the way out.
+    c.bench_function("event_queue/push_pop_far_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(
+                    SimTime((i * 37 % 1000) * 10_000_000),
+                    Event::AppTimer { node: NodeId(0), app_idx: 0, timer_id: i },
+                );
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
 fn line_topo() -> (Topology, NodeId, NodeId) {
     let mut t = Topology::new();
     let h1 = t.add_host("h1");
@@ -105,6 +127,91 @@ fn bench_packet_throughput_observed(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_timer_heavy(c: &mut Criterion) {
+    use int_netsim::{App, AppCtx};
+    use std::any::Any;
+
+    // Periods from 5 ms to 8 s: the long ones park past the wheel's L1
+    // horizon (~4.29 s) and exercise overflow promotion; each timer
+    // rearms on fire, so every wheel level churns for the whole run.
+    const PERIODS_MS: [u64; 8] = [5, 10, 25, 100, 250, 1_000, 5_000, 8_000];
+
+    /// Battery of 16 rearming timers (each period, plus each period ×3).
+    struct TimerStorm;
+    impl App for TimerStorm {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            for (id, &ms) in PERIODS_MS.iter().enumerate() {
+                ctx.set_timer(SimDuration::from_millis(ms), id as u64);
+                ctx.set_timer(SimDuration::from_millis(ms * 3), (id + PERIODS_MS.len()) as u64);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut AppCtx<'_>, id: u64) {
+            let base = PERIODS_MS[id as usize % PERIODS_MS.len()];
+            let ms = if id as usize >= PERIODS_MS.len() { base * 3 } else { base };
+            ctx.set_timer(SimDuration::from_millis(ms), id);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    let build = || {
+        let mut t = Topology::new();
+        let s1 = t.add_switch("s1");
+        let fast = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            delay: SimDuration::from_millis(10),
+            queue_cap_pkts: 256,
+        };
+        let hosts: Vec<NodeId> = (0..4)
+            .map(|i| {
+                let h = t.add_host(Box::leak(format!("h{i}").into_boxed_str()));
+                t.add_link(h, s1, fast);
+                h
+            })
+            .collect();
+        let mut sim = Simulator::new(t, SimConfig::default());
+        // Timer batteries on every host, plus a steady 2 Mbit/s flow so
+        // packet events interleave with the timer churn.
+        for &h in &hosts {
+            sim.install_app(h, Box::new(TimerStorm));
+        }
+        sim.install_app(
+            hosts[0],
+            Box::new(IperfSenderApp::new(IperfConfig::new(
+                Topology::host_ip(hosts[1]),
+                2_000_000,
+                SimTime::ZERO,
+                SimDuration::from_secs(20),
+            ))),
+        );
+        sim.install_app(hosts[1], Box::new(UdpSinkApp::new(IPERF_UDP_PORT)));
+        sim
+    };
+
+    // The sim is deterministic: one throwaway run prices the workload.
+    let events = {
+        let mut sim = build();
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(20));
+        sim.stats().events_processed
+    };
+
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("timer_heavy_20s", |b| {
+        b.iter(|| {
+            let mut sim = build();
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(20));
+            black_box(sim.stats().events_processed)
+        })
+    });
+    g.finish();
+}
+
 fn bench_tcp_transfer(c: &mut Criterion) {
     use int_netsim::{App, AppCtx, TcpEvent};
     use std::any::Any;
@@ -170,8 +277,10 @@ fn bench_tcp_transfer(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_event_queue_far,
     bench_packet_throughput,
     bench_packet_throughput_observed,
+    bench_timer_heavy,
     bench_tcp_transfer
 );
 criterion_main!(benches);

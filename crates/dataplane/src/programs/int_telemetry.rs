@@ -198,7 +198,9 @@ impl DataPlaneProgram for IntTelemetryProgram {
             }
         }
 
-        let Some(port) = self.l3.lookup(ip.dst) else {
+        // Cached: consecutive packets overwhelmingly share a destination,
+        // so the per-packet path usually skips the LPM table entirely.
+        let Some(port) = self.l3.lookup_cached(ip.dst) else {
             return IngressVerdict::Drop;
         };
         if !decrement_ttl(frame) {

@@ -15,6 +15,11 @@ use std::net::Ipv4Addr;
 pub struct L3ForwardProgram {
     fwd: MatchActionTable<PortId>,
     registers: RegisterFile,
+    /// Single-entry last-lookup cache `(dst, port)`: consecutive packets
+    /// overwhelmingly share a destination, so the ingress path usually
+    /// skips the table entirely. Invalidated on any table write.
+    cache: Option<(u32, PortId)>,
+    cache_hits: u64,
 }
 
 impl L3ForwardProgram {
@@ -22,11 +27,17 @@ impl L3ForwardProgram {
     pub fn new(num_ports: usize) -> Self {
         let mut registers = RegisterFile::new();
         registers.declare("pkt_count", num_ports);
-        L3ForwardProgram { fwd: MatchActionTable::new("ipv4_lpm", MatchKind::Lpm), registers }
+        L3ForwardProgram {
+            fwd: MatchActionTable::new("ipv4_lpm", MatchKind::Lpm),
+            registers,
+            cache: None,
+            cache_hits: 0,
+        }
     }
 
     /// Control plane: route `prefix/len` out of `port`.
     pub fn install_route(&mut self, prefix: Ipv4Addr, prefix_len: u16, port: PortId) {
+        self.cache = None; // any table write invalidates the lookup cache
         self.fwd
             .insert(Key::Lpm { value: prefix.octets().to_vec(), prefix_len }, port);
     }
@@ -45,6 +56,28 @@ impl L3ForwardProgram {
     pub fn lookup(&self, dst: Ipv4Addr) -> Option<PortId> {
         self.fwd.lookup(&dst.octets()).copied()
     }
+
+    /// [`lookup`](Self::lookup) through the single-entry cache — the
+    /// per-packet path. Misses consult the table and refill the cache.
+    pub fn lookup_cached(&mut self, dst: Ipv4Addr) -> Option<PortId> {
+        let key = u32::from(dst);
+        if let Some((k, p)) = self.cache {
+            if k == key {
+                self.cache_hits += 1;
+                return Some(p);
+            }
+        }
+        let port = self.fwd.lookup(&dst.octets()).copied();
+        if let Some(p) = port {
+            self.cache = Some((key, p));
+        }
+        port
+    }
+
+    /// Number of lookups served from the single-entry cache (diagnostics).
+    pub fn lookup_cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
 }
 
 impl DataPlaneProgram for L3ForwardProgram {
@@ -55,7 +88,7 @@ impl DataPlaneProgram for L3ForwardProgram {
         let Some(ip) = parsed.ip else {
             return IngressVerdict::Drop; // non-IP traffic is not forwarded
         };
-        let Some(&port) = self.fwd.lookup(&ip.dst.octets()) else {
+        let Some(port) = self.lookup_cached(ip.dst) else {
             return IngressVerdict::Drop;
         };
         if !decrement_ttl(frame) {
@@ -131,6 +164,39 @@ mod tests {
             p.ingress(&mut f, &ctx());
         }
         assert_eq!(p.registers().array("pkt_count").read(0), 3);
+    }
+
+    /// The single-entry cache serves repeat destinations, refills on a
+    /// destination change, and is invalidated by any table write — a stale
+    /// hit after a route change would misforward silently.
+    #[test]
+    fn lookup_cache_hits_and_invalidates() {
+        let mut p = L3ForwardProgram::new(4);
+        let a = Ipv4Addr::new(10, 0, 0, 2);
+        let b = Ipv4Addr::new(10, 0, 0, 3);
+        p.install_host_route(a, 1);
+        p.install_host_route(b, 2);
+
+        assert_eq!(p.lookup_cached(a), Some(1));
+        assert_eq!(p.lookup_cache_hits(), 0, "first lookup misses");
+        assert_eq!(p.lookup_cached(a), Some(1));
+        assert_eq!(p.lookup_cached(a), Some(1));
+        assert_eq!(p.lookup_cache_hits(), 2, "repeats hit");
+        assert_eq!(p.lookup_cached(b), Some(2), "destination change refills");
+        assert_eq!(p.lookup_cached(b), Some(2));
+        assert_eq!(p.lookup_cache_hits(), 3);
+
+        // Re-route b: the cached (b → 2) binding must not survive.
+        p.install_host_route(b, 3);
+        assert_eq!(p.lookup_cached(b), Some(3), "table write invalidates the cache");
+        assert_eq!(p.lookup_cache_hits(), 3);
+
+        // The ingress path goes through the same cache.
+        let mut f = udp_frame(a);
+        assert_eq!(p.ingress(&mut f, &ctx()), IngressVerdict::Forward(1));
+        let mut f = udp_frame(a);
+        assert_eq!(p.ingress(&mut f, &ctx()), IngressVerdict::Forward(1));
+        assert!(p.lookup_cache_hits() > 3, "ingress lookups populate and hit the cache");
     }
 
     #[test]

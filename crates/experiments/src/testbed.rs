@@ -250,6 +250,29 @@ mod tests {
         assert_eq!(nearest_to_h7, hosts[7]);
     }
 
+    /// The simulator memoizes host egress ports at build time (PR 4); the
+    /// memo must answer exactly as a fresh `RouteTable` for every host
+    /// pair on the 12-switch ring — a divergence would silently reroute
+    /// traffic at the first hop.
+    #[test]
+    fn host_uplink_memo_matches_route_table() {
+        let (t, hosts, _switches) = build_topology(128);
+        let routes = int_netsim::RouteTable::compute(&t);
+        let sim = Simulator::new(t.clone(), SimConfig::default());
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    sim.host_uplink_port(a, Topology::host_ip(b)),
+                    routes.egress_port(&t, a, b).expect("ring is connected"),
+                    "memoized uplink for {a:?} -> {b:?}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn testbed_builds_and_probes_reach_scheduler() {
         let mut tb = Testbed::new(&TestbedConfig::default());

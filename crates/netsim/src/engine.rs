@@ -126,6 +126,12 @@ pub struct Simulator {
     trace: TraceRing,
     /// Scratch for draining data-plane program trace buffers.
     trace_scratch: Vec<TraceEvent>,
+    /// Per-host memo of the egress port toward every node, indexed
+    /// `[node][dst_node]`; switch rows stay empty. Built once at
+    /// construction so the host send path never reconstructs a route
+    /// (`RouteTable::egress_port` → `path()` allocates and reverses a
+    /// `Vec<NodeId>` per call).
+    host_uplinks: Vec<Vec<PortId>>,
 }
 
 impl Simulator {
@@ -182,6 +188,16 @@ impl Simulator {
             }
         }
 
+        let n = topo.nodes.len();
+        let mut host_uplinks: Vec<Vec<PortId>> = vec![Vec::new(); n];
+        for spec in &topo.nodes {
+            if matches!(spec.kind, NodeKind::Host) {
+                host_uplinks[spec.id.0 as usize] = (0..n)
+                    .map(|d| routes.egress_port(&topo, spec.id, NodeId(d as u32)).unwrap_or(0))
+                    .collect();
+            }
+        }
+
         Simulator {
             topo,
             routes,
@@ -199,6 +215,7 @@ impl Simulator {
             metrics: MetricsRegistry::new(),
             trace: TraceRing::default(),
             trace_scratch: Vec::new(),
+            host_uplinks,
         }
     }
 
@@ -830,16 +847,24 @@ impl Simulator {
     }
 
     /// Egress port a host uses toward `dst` (port 0 unless multihomed with
-    /// a better route).
+    /// a better route). One memo read per packet; the table is filled at
+    /// construction from the same `RouteTable` answers.
     fn host_uplink(&self, node: NodeId, dst: Ipv4Addr) -> PortId {
         if let Some(dst_node) = Topology::node_of_ip(dst) {
-            if (dst_node.0 as usize) < self.topo.nodes.len() {
-                if let Some(p) = self.routes.egress_port(&self.topo, node, dst_node) {
+            if let Some(row) = self.host_uplinks.get(node.0 as usize) {
+                if let Some(&p) = row.get(dst_node.0 as usize) {
                     return p;
                 }
             }
         }
         0
+    }
+
+    /// Memoized egress port a host uses toward `dst` — the exact value the
+    /// send path consults. Exposed for regression tests pinning the memo
+    /// against fresh `RouteTable` answers.
+    pub fn host_uplink_port(&self, node: NodeId, dst: Ipv4Addr) -> PortId {
+        self.host_uplink(node, dst)
     }
 
     /// Drain the TCP outboxes of a host until quiescent.
@@ -1275,6 +1300,86 @@ mod tests {
         assert!(a.stats.drops_queue_full > 0, "scenario actually congests: {:?}", a.stats);
         assert_eq!(a.server_bytes, 300_000, "both TCP streams complete");
         assert_eq!(a, b, "identical seeds must replay identically");
+    }
+
+    /// Wheel-vs-heap equivalence on a congested run (DESIGN.md §5.4): the
+    /// event queue mirrors every push into a reference binary heap and
+    /// asserts on every pop that the timing wheel produces the exact heap
+    /// order. The scenario squeezes two TCP streams and a CBR flow through
+    /// a tiny-queue bottleneck (retransmission timers, bursts, drops),
+    /// adds a multi-second ticker (wheel overflow + idle jumps), and a
+    /// fault plan with transitions 20 s and 40 s out (far-future events
+    /// resident in overflow from t=0).
+    #[test]
+    fn wheel_pops_in_exact_heap_order_on_congested_run() {
+        /// Rearming timer whose period dwarfs the L1 horizon (~4.29 s).
+        struct SlowTicker {
+            period: SimDuration,
+            fires: u64,
+        }
+        impl App for SlowTicker {
+            fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+                ctx.set_timer(self.period, 0);
+            }
+            fn on_timer(&mut self, ctx: &mut AppCtx<'_>, _id: u64) {
+                self.fires += 1;
+                ctx.set_timer(self.period, 0);
+            }
+            fn as_any(&self) -> &dyn Any { self }
+            fn as_any_mut(&mut self) -> &mut dyn Any { self }
+        }
+
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1");
+        let h2 = t.add_host("h2");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let h3 = t.add_host("h3");
+        let h4 = t.add_host("h4");
+        let tight = LinkParams { queue_cap_pkts: 8, ..LinkParams::paper_default() };
+        t.add_link(h1, s1, tight);
+        t.add_link(h2, s1, tight);
+        t.add_link(s1, s2, tight); // the bottleneck
+        t.add_link(s2, h3, tight);
+        t.add_link(s2, h4, tight);
+
+        let mut sim = Simulator::new(t, SimConfig { seed: 42, ..SimConfig::default() });
+        sim.events.enable_cross_check();
+        let h3_ip = Topology::host_ip(h3);
+        sim.install_app(h1, Box::new(TcpClient { dst: h3_ip, len: 150_000, done_at: None }));
+        sim.install_app(h2, Box::new(TcpClient { dst: h3_ip, len: 150_000, done_at: None }));
+        let server = sim.install_app(h3, Box::new(TcpServer::default()));
+        sim.install_app(
+            h4,
+            Box::new(CbrUdp {
+                dst: Topology::host_ip(h1),
+                dst_port: 5001,
+                payload: 1000,
+                period: SimDuration::from_millis(2),
+                until: SimTime::ZERO + SimDuration::from_secs(60),
+            }),
+        );
+        sim.install_app(h1, Box::new(UdpSink::default()));
+        let ticker =
+            sim.install_app(h2, Box::new(SlowTicker { period: SimDuration::from_secs(6), fires: 0 }));
+        sim.install_fault_plan(
+            &FaultPlan::new()
+                .link_down(s2, h4, SimTime::ZERO + SimDuration::from_secs(20))
+                .link_up(s2, h4, SimTime::ZERO + SimDuration::from_secs(40)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+
+        // The cross-check asserted wheel == heap on every single pop; now
+        // pin that the run exercised what it claims to.
+        let stats = sim.stats();
+        assert!(stats.drops_queue_full > 0, "scenario actually congests: {stats:?}");
+        assert!(stats.drops_link_down > 0, "fault plan actually fired: {stats:?}");
+        assert_eq!(sim.app::<TcpServer>(h3, server).unwrap().bytes, 300_000);
+        assert_eq!(
+            sim.app::<SlowTicker>(h2, ticker).unwrap().fires,
+            10,
+            "overflow-resident timers fired on schedule (every 6 s up to and including t=60 s)"
+        );
     }
 
     /// The frame pool reaches a steady state: once the in-flight

@@ -20,7 +20,15 @@ echo "== clippy (deny warnings)"
 cargo clippy --workspace --release --all-targets -- -D warnings
 
 echo "== benches (smoke)"
-cargo bench -p int-bench -- --test
+bench_log="$(cargo bench -p int-bench -- --test 2>&1)"
+echo "$bench_log"
+# The PR-4 hot-path benches must stay registered: the timing-wheel
+# overflow variants and the indexed-vs-linear flow-table pair are the
+# regression guards for results/bench_pr4.json.
+for name in push_pop_far_1k timer_heavy_20s flow_table/lpm_indexed/512 flow_table/lpm_linear/512; do
+    grep -q "$name" <<<"$bench_log" \
+        || { echo "bench smoke: $name missing from harness"; exit 1; }
+done
 
 echo "== failover (smoke)"
 # Tiny grid, fixed seed, serial: the INT row must report a finite
