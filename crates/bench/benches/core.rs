@@ -90,5 +90,58 @@ fn bench_ranking(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_probe_ingest, bench_path_traversal, bench_delay_estimate, bench_ranking);
+/// A synthetic 3-tier fabric far beyond the paper's testbed: 128 hosts
+/// behind 32 leaf, 16 aggregation, 8 spine, and 8 core switches (64
+/// total), fully learned in both directions.
+fn fabric_map(hosts: u32) -> NetworkMap {
+    let mut m = NetworkMap::new();
+    for h in 0..hosts {
+        let chain =
+            [100 + h % 32, 200 + h % 16, 300 + h % 8, 400 + (h / 16) % 8];
+        m.apply_probe(&probe_through(h, &chain, h % 8), 1000, 50_000_000);
+        let rev: Vec<u32> = chain.iter().rev().copied().collect();
+        m.apply_probe(&probe_through(1000, &rev, h % 5), h, 50_000_000);
+    }
+    m
+}
+
+/// The PR 5 headline: sustained rank-query throughput of one long-lived
+/// ranker. Steady state on an unchanged map — exactly what the scheduler
+/// pays per query between probe rounds.
+fn bench_rank_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank_throughput");
+
+    let m = ring_map(8);
+    let candidates: Vec<u32> = (0..8).collect();
+    g.bench_function("testbed_8h", |b| {
+        let mut r = Ranker::new(CoreConfig::default(), StaticDistances::new(), 1);
+        let mut out = Vec::new();
+        b.iter(|| {
+            r.rank_into(&m, 100, &candidates, Policy::IntDelay, 50_000_000, &mut out);
+            black_box(out.len())
+        })
+    });
+
+    let m = fabric_map(128);
+    let candidates: Vec<u32> = (0..128).collect();
+    g.bench_function("fabric_64s_128h", |b| {
+        let mut r = Ranker::new(CoreConfig::default(), StaticDistances::new(), 1);
+        let mut out = Vec::new();
+        b.iter(|| {
+            r.rank_into(&m, 1000, &candidates, Policy::IntDelay, 50_000_000, &mut out);
+            black_box(out.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_probe_ingest,
+    bench_path_traversal,
+    bench_delay_estimate,
+    bench_ranking,
+    bench_rank_throughput
+);
 criterion_main!(benches);

@@ -72,6 +72,18 @@ pub struct CoreConfig {
     /// presumed unreachable and excluded from INT-based rankings until it
     /// is heard from again.
     pub origin_silence_ns: u64,
+    /// Nominal delay assumed for a link the map knows exists but has no
+    /// delay sample for in the queried direction (and, under
+    /// [`DirectionFallback::Strict`], none in the reverse either). Used
+    /// both as the Dijkstra traversal weight and as the per-link term of
+    /// delay estimates, so routing and estimation can never silently
+    /// diverge on unmeasured links.
+    #[serde(default = "default_unmeasured_delay_ns")]
+    pub unmeasured_delay_ns: u64,
+}
+
+fn default_unmeasured_delay_ns() -> u64 {
+    10_000_000 // 10 ms, comfortably worse than any measured testbed link
 }
 
 impl Default for CoreConfig {
@@ -87,6 +99,7 @@ impl Default for CoreConfig {
             qlen_window_ns: 500_000_000,
             eviction_horizon_ns: 10_000_000_000, // 10 s ≈ 100 default intervals
             origin_silence_ns: 3_000_000_000,    // 3 s ≈ 30 default intervals
+            unmeasured_delay_ns: default_unmeasured_delay_ns(),
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod config;
 pub mod coverage;
 pub mod estimate;
 pub mod map;
+pub mod pathidx;
 pub mod rank;
 pub mod sched;
 pub mod tuning;
@@ -43,5 +44,6 @@ pub use collector::IntCollector;
 pub use config::CoreConfig;
 pub use estimate::{BandwidthEstimator, DelayEstimator};
 pub use map::{EdgeState, NetNode, NetworkMap};
+pub use pathidx::{PathEngine, PathEngineStats};
 pub use rank::{ExcludeReason, Policy, RankOutcome, RankedServer};
 pub use sched::SchedulerCore;

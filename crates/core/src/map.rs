@@ -90,6 +90,16 @@ pub struct NetworkMap {
     /// Retention horizon for per-edge queue-harvest history; mirrors
     /// [`CoreConfig::qlen_window_ns`].
     qlen_retention_ns: u64,
+    /// Bumped whenever the *structure* of the graph changes: an edge is
+    /// inserted or evicted, or a node joins the host/switch sets. The
+    /// indexed path engine keys its CSR adjacency snapshot on this.
+    #[serde(skip)]
+    topo_gen: u64,
+    /// Bumped on metric-only updates (delay/queue refresh of an existing
+    /// edge). Does not invalidate adjacency structure, only edge weights
+    /// and cached shortest paths.
+    #[serde(skip)]
+    metrics_gen: u64,
 }
 
 impl Default for NetworkMap {
@@ -102,6 +112,8 @@ impl Default for NetworkMap {
             evicted: BTreeMap::new(),
             delay_ewma_new_eighths: defaults.delay_ewma_new_eighths,
             qlen_retention_ns: defaults.qlen_window_ns,
+            topo_gen: 0,
+            metrics_gen: 0,
         }
     }
 }
@@ -149,10 +161,27 @@ impl NetworkMap {
         self.edges.get(&(from, to))
     }
 
+    /// Topology generation: incremented on every structural change (edge
+    /// insert/evict, node-set growth). Snapshots keyed on this stay valid
+    /// across metric-only refreshes.
+    pub fn topology_generation(&self) -> u64 {
+        self.topo_gen
+    }
+
+    /// Metrics generation: incremented on every metric refresh of an
+    /// existing edge (and on map-side tunable changes). Cached shortest
+    /// paths must be revalidated when this moves — route choice is
+    /// delay-weighted, so fresher metrics can select a different path.
+    pub fn metrics_generation(&self) -> u64 {
+        self.metrics_gen
+    }
+
     /// Register a host that may not originate probes (e.g. the scheduler
     /// itself, or a device that only submits queries).
     pub fn register_host(&mut self, host: u32) {
-        self.hosts.insert(host);
+        if self.hosts.insert(host) {
+            self.topo_gen += 1;
+        }
     }
 
     /// Fold one probe into the map (paper Fig. 2 semantics).
@@ -161,15 +190,21 @@ impl NetworkMap {
     /// the collector's receive timestamp, used to measure the final hop's
     /// link latency from the last switch's egress stamp.
     pub fn apply_probe(&mut self, probe: &ProbePayload, scheduler_host: u32, now_ns: u64) {
-        self.hosts.insert(probe.origin_node);
-        self.hosts.insert(scheduler_host);
+        if self.hosts.insert(probe.origin_node) {
+            self.topo_gen += 1;
+        }
+        if self.hosts.insert(scheduler_host) {
+            self.topo_gen += 1;
+        }
 
         let records = &probe.int.records;
         if records.is_empty() {
             return; // a probe that saw no switch teaches us nothing
         }
         for r in records {
-            self.switches.insert(r.switch_id);
+            if self.switches.insert(r.switch_id) {
+                self.topo_gen += 1;
+            }
         }
 
         // Build the node path: origin → s1 → … → sk → scheduler.
@@ -197,6 +232,7 @@ impl NetworkMap {
     fn update_delay(&mut self, from: NetNode, to: NetNode, sample_ns: u64, now_ns: u64) {
         self.evicted.remove(&(from, to));
         let w = self.delay_ewma_new_eighths as u64;
+        self.note_edge_touch(from, to);
         let e = self.edges.entry((from, to)).or_insert_with(|| EdgeState::new(now_ns));
         e.last_delay_ns = sample_ns;
         e.delay_ns = if e.samples == 0 {
@@ -208,9 +244,20 @@ impl NetworkMap {
         e.updated_ns = now_ns;
     }
 
+    /// Account one edge write: insertion of a previously unknown edge is a
+    /// structural change, a refresh of an existing one is metric-only.
+    fn note_edge_touch(&mut self, from: NetNode, to: NetNode) {
+        if self.edges.contains_key(&(from, to)) {
+            self.metrics_gen += 1;
+        } else {
+            self.topo_gen += 1;
+        }
+    }
+
     fn update_qlen(&mut self, from: NetNode, to: NetNode, max_q: u32, inst_q: u32, now_ns: u64) {
         self.evicted.remove(&(from, to));
         let retention = self.qlen_retention_ns;
+        self.note_edge_touch(from, to);
         let e = self.edges.entry((from, to)).or_insert_with(|| EdgeState::new(now_ns));
         e.max_qlen_pkts = max_q;
         e.qlen_at_probe_pkts = inst_q;
@@ -245,6 +292,7 @@ impl NetworkMap {
             self.evicted.insert(*key, now_ns);
         }
         if !dead.is_empty() {
+            self.topo_gen += 1;
             // A switch is only known through its edges; drop the ones that
             // no longer appear on any.
             let mut live = BTreeSet::new();
@@ -327,6 +375,11 @@ impl NetworkMap {
     /// Shortest path (by effective delay, deterministic tie-break) between
     /// two nodes over the learned graph. Returns the node sequence
     /// including endpoints, or `None` if disconnected.
+    ///
+    /// This is the *reference* implementation: the query hot path goes
+    /// through [`crate::pathidx::PathEngine`], which must agree with this
+    /// byte-for-byte (pinned by the oracle proptest). Keep the two in
+    /// lockstep when changing traversal semantics.
     pub fn path(&self, cfg: &CoreConfig, from: NetNode, to: NetNode) -> Option<Vec<NetNode>> {
         if from == to {
             return Some(vec![from]);
@@ -347,9 +400,9 @@ impl NetworkMap {
                 break;
             }
             for v in self.neighbours(u) {
-                // Unmeasured edges get a nominal 10 ms so traversal still
-                // works while the map is warming up.
-                let w = self.effective_delay_ns(cfg, u, v).unwrap_or(10_000_000);
+                // Unmeasured edges get a nominal fallback weight so
+                // traversal still works while the map is warming up.
+                let w = self.effective_delay_ns(cfg, u, v).unwrap_or(cfg.unmeasured_delay_ns);
                 let nd = d.saturating_add(w.max(1));
                 if nd < dist.get(&v).copied().unwrap_or(u64::MAX) {
                     dist.insert(v, nd);

@@ -1,0 +1,478 @@
+//! The indexed path engine: the scheduler control plane's query hot path.
+//!
+//! [`NetworkMap::path`] is the reference implementation — a point-to-point
+//! Dijkstra over `BTreeMap` edge storage whose `neighbours()` is a full
+//! O(E) scan allocating per expansion. Fine at testbed scale, hopeless for
+//! large fabrics where every scheduling query used to pay **2N** such runs
+//! (N candidates × the delay and bandwidth estimators each recomputing the
+//! identical path).
+//!
+//! [`PathEngine`] replaces that with:
+//!
+//! 1. **A CSR adjacency snapshot** over dense integer node ids, rebuilt
+//!    lazily and keyed on the map's *topology generation* (bumped only on
+//!    edge insert/evict and node-set growth). Metric-only refreshes bump a
+//!    separate *metrics generation* and never force a structural rebuild —
+//!    only a flat per-arc weight refresh.
+//! 2. **A shared single-source Dijkstra**: one SSSP run per source serves
+//!    every candidate and both estimators. Scratch buffers (`dist`/`prev`
+//!    arrays indexed by dense id, one binary heap) are owned by the engine
+//!    and reused, so the steady-state query path allocates nothing.
+//! 3. **A per-`(from, to)` path cache** holding node sequences, validated
+//!    against both generations. Topology changes rebuild the snapshot and
+//!    drop the cache; metric refreshes drop the cache too (route choice is
+//!    delay-weighted, so fresher metrics can legitimately select a
+//!    different path — caching across them would diverge from the oracle).
+//!    Delay/bandwidth estimates are always recomputed from live metrics
+//!    along the returned node path, so estimates stay exactly as fresh as
+//!    with the reference implementation.
+//!
+//! # Determinism
+//!
+//! The engine must return *byte-identical* paths to [`NetworkMap::path`]:
+//!
+//! * Dense ids are assigned in ascending [`NetNode`] order (hosts before
+//!   switches, each ascending), so the heap's `(dist, id)` tie-break
+//!   equals the reference's `(dist, NetNode)` tie-break.
+//! * CSR adjacency rows are sorted ascending, matching the reference's
+//!   `BTreeSet`-ordered `neighbours()` relaxation order, so equal-cost
+//!   predecessor selection is identical.
+//! * The reference early-exits when the target pops; the SSSP runs to
+//!   completion. Both agree on every extracted path: a popped node's
+//!   `prev` entry is final (weights are clamped ≥ 1, so no later
+//!   relaxation can strictly improve a finalized distance), and every
+//!   node on a shortest path to `t` pops before `t` does.
+//!
+//! The agreement is pinned by a proptest oracle driving random maps
+//! through interleaved probe updates, evictions and link cuts (see
+//! `tests/proptest_core.rs`).
+
+use crate::config::CoreConfig;
+use crate::map::{NetNode, NetworkMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Sentinel for "no predecessor" in the SSSP scratch.
+const NO_PREV: u32 = u32::MAX;
+
+/// Counters exposed for steady-state tests and diagnostics — the
+/// pool-style accounting used to assert that the query path stops doing
+/// expensive work (and stops allocating) once warm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathEngineStats {
+    /// CSR snapshots built (topology-generation misses).
+    pub csr_rebuilds: u64,
+    /// Per-arc weight refreshes (metrics-generation misses).
+    pub weight_refreshes: u64,
+    /// Single-source Dijkstra executions.
+    pub sssp_runs: u64,
+    /// Path-cache hits (no traversal work at all).
+    pub cache_hits: u64,
+    /// Path-cache misses (path extracted from the shared SSSP).
+    pub cache_misses: u64,
+}
+
+/// Indexed shortest-path engine over a [`NetworkMap`]. See the module
+/// docs for the design; [`NetworkMap::path`] remains the oracle.
+///
+/// One engine serves one map: queries against a *different* map instance
+/// that happens to share generation counters are not detected. The
+/// [`crate::rank::Ranker`] owns exactly one and always queries its
+/// scheduler's learned map, which satisfies this by construction.
+/// Likewise the `cfg` passed in must be stable across calls (weights are
+/// revalidated by generation, not by config identity).
+#[derive(Debug, Clone)]
+pub struct PathEngine {
+    /// Topology generation the snapshot was built at.
+    snapshot_gen: Option<u64>,
+    /// All nodes, sorted ascending — index is the dense id.
+    nodes: Vec<NetNode>,
+    /// CSR row offsets, `nodes.len() + 1` entries.
+    row: Vec<u32>,
+    /// CSR column (neighbour dense id) per undirected arc, sorted per row.
+    cols: Vec<u32>,
+    /// Traversal weight per arc (directed u→v semantics, ≥ 1), parallel
+    /// to `cols`; refreshed when the metrics generation moves.
+    weights: Vec<u64>,
+    /// Metrics generation the weights were refreshed at.
+    weights_gen: Option<u64>,
+    /// Source dense id of the currently valid SSSP scratch.
+    sssp_source: Option<u32>,
+    dist: Vec<u64>,
+    prev: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Scratch for CSR construction (kept to avoid rebuild allocations).
+    arc_scratch: Vec<(u32, u32)>,
+    /// `(from, to)` → cached node path (`None` = cached unreachability).
+    cache: BTreeMap<(NetNode, NetNode), Option<Vec<NetNode>>>,
+    cache_enabled: bool,
+    /// Fallback result slot when the cache is force-disabled.
+    uncached: Option<Vec<NetNode>>,
+    /// Storage for the trivial `from == to` path.
+    self_path: [NetNode; 1],
+    stats: PathEngineStats,
+}
+
+impl Default for PathEngine {
+    fn default() -> Self {
+        PathEngine {
+            snapshot_gen: None,
+            nodes: Vec::new(),
+            row: Vec::new(),
+            cols: Vec::new(),
+            weights: Vec::new(),
+            weights_gen: None,
+            sssp_source: None,
+            dist: Vec::new(),
+            prev: Vec::new(),
+            heap: BinaryHeap::new(),
+            arc_scratch: Vec::new(),
+            cache: BTreeMap::new(),
+            cache_enabled: true,
+            uncached: None,
+            self_path: [NetNode::Host(0)],
+            stats: PathEngineStats::default(),
+        }
+    }
+}
+
+impl PathEngine {
+    /// A fresh engine (cache enabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounting counters.
+    pub fn stats(&self) -> PathEngineStats {
+        self.stats
+    }
+
+    /// Enable or force-disable the path cache (the `INT_PATH_CACHE=0`
+    /// determinism override). Disabled, every query re-extracts from the
+    /// shared SSSP scratch; results are identical either way.
+    pub fn set_cache_enabled(&mut self, on: bool) {
+        if self.cache_enabled != on {
+            self.cache_enabled = on;
+            self.cache.clear();
+        }
+    }
+
+    /// Whether the path cache is active.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Shortest path from `from` to `to`, byte-identical to
+    /// [`NetworkMap::path`], or `None` when disconnected. The returned
+    /// slice borrows engine-owned storage (cache entry or scratch).
+    pub fn path(
+        &mut self,
+        map: &NetworkMap,
+        cfg: &CoreConfig,
+        from: NetNode,
+        to: NetNode,
+    ) -> Option<&[NetNode]> {
+        if from == to {
+            self.self_path[0] = from;
+            return Some(&self.self_path);
+        }
+        self.ensure_snapshot(map);
+        self.ensure_weights(map, cfg);
+
+        let key = (from, to);
+        if self.cache_enabled && self.cache.contains_key(&key) {
+            self.stats.cache_hits += 1;
+            return self.cache.get(&key).expect("just checked").as_deref();
+        }
+
+        let computed = self.compute_path(from, to);
+        if self.cache_enabled {
+            self.stats.cache_misses += 1;
+            self.cache.insert(key, computed);
+            self.cache.get(&key).expect("just inserted").as_deref()
+        } else {
+            self.uncached = computed;
+            self.uncached.as_deref()
+        }
+    }
+
+    /// Extract the path for one pair from the (memoized) shared SSSP.
+    fn compute_path(&mut self, from: NetNode, to: NetNode) -> Option<Vec<NetNode>> {
+        let from_id = self.node_id(from)?;
+        let to_id = self.node_id(to)?;
+        self.ensure_sssp(from_id);
+        if self.dist[to_id as usize] == u64::MAX {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = to_id;
+        path.push(self.nodes[cur as usize]);
+        while cur != from_id {
+            cur = self.prev[cur as usize];
+            if cur == NO_PREV {
+                return None; // unreachable scratch state; mirrors oracle's `?`
+            }
+            path.push(self.nodes[cur as usize]);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Dense id of a node, if it is part of the snapshot.
+    fn node_id(&self, n: NetNode) -> Option<u32> {
+        self.nodes.binary_search(&n).ok().map(|i| i as u32)
+    }
+
+    /// Rebuild the CSR snapshot when the topology generation moved.
+    fn ensure_snapshot(&mut self, map: &NetworkMap) {
+        let gen = map.topology_generation();
+        if self.snapshot_gen == Some(gen) {
+            return;
+        }
+        self.stats.csr_rebuilds += 1;
+
+        // Dense ids in ascending NetNode order: hosts then switches, each
+        // ascending (the derived Ord puts Host(_) < Switch(_)).
+        self.nodes.clear();
+        self.nodes.extend(map.hosts().map(NetNode::Host));
+        self.nodes.extend(map.switches().map(NetNode::Switch));
+        debug_assert!(self.nodes.windows(2).all(|w| w[0] < w[1]), "dense ids must be sorted");
+
+        // Undirected arcs, deduplicated: each directed edge contributes
+        // both orientations; (a,b) and (b,a) probed separately collapse.
+        self.arc_scratch.clear();
+        for (a, b, _) in map.edges() {
+            // Edge endpoints are always members of the host/switch sets
+            // (apply_probe registers them); skip defensively if not.
+            let (Some(ia), Some(ib)) = (self.node_id(a), self.node_id(b)) else {
+                debug_assert!(false, "edge endpoint missing from node sets: {a:?}->{b:?}");
+                continue;
+            };
+            self.arc_scratch.push((ia, ib));
+            self.arc_scratch.push((ib, ia));
+        }
+        self.arc_scratch.sort_unstable();
+        self.arc_scratch.dedup();
+
+        self.row.clear();
+        self.cols.clear();
+        self.row.resize(self.nodes.len() + 1, 0);
+        for &(u, v) in &self.arc_scratch {
+            self.row[u as usize + 1] += 1;
+            self.cols.push(v);
+        }
+        for i in 1..self.row.len() {
+            self.row[i] += self.row[i - 1];
+        }
+
+        self.snapshot_gen = Some(gen);
+        self.weights_gen = None; // arcs changed: weights must be refilled
+        self.sssp_source = None;
+    }
+
+    /// Refresh per-arc weights when the metrics generation moved. Also
+    /// drops the path cache: routes are chosen by these weights.
+    fn ensure_weights(&mut self, map: &NetworkMap, cfg: &CoreConfig) {
+        let gen = map.metrics_generation();
+        if self.weights_gen == Some(gen) {
+            return;
+        }
+        self.stats.weight_refreshes += 1;
+        self.weights.clear();
+        self.weights.reserve(self.cols.len());
+        for u in 0..self.nodes.len() {
+            let from = self.nodes[u];
+            for i in self.row[u] as usize..self.row[u + 1] as usize {
+                let to = self.nodes[self.cols[i] as usize];
+                let w = map
+                    .effective_delay_ns(cfg, from, to)
+                    .unwrap_or(cfg.unmeasured_delay_ns)
+                    .max(1);
+                self.weights.push(w);
+            }
+        }
+        self.weights_gen = Some(gen);
+        self.sssp_source = None;
+        self.cache.clear();
+    }
+
+    /// Run (or reuse) the single-source Dijkstra from `source`. One run
+    /// serves every `(source, *)` extraction until the map changes.
+    fn ensure_sssp(&mut self, source: u32) {
+        if self.sssp_source == Some(source) {
+            return;
+        }
+        self.stats.sssp_runs += 1;
+        let n = self.nodes.len();
+        self.dist.clear();
+        self.dist.resize(n, u64::MAX);
+        self.prev.clear();
+        self.prev.resize(n, NO_PREV);
+        self.heap.clear();
+
+        self.dist[source as usize] = 0;
+        self.heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if self.dist[u as usize] < d {
+                continue; // stale heap entry
+            }
+            for i in self.row[u as usize] as usize..self.row[u as usize + 1] as usize {
+                let v = self.cols[i];
+                let nd = d.saturating_add(self.weights[i]);
+                if nd < self.dist[v as usize] {
+                    self.dist[v as usize] = nd;
+                    self.prev[v as usize] = u;
+                    self.heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        self.sssp_source = Some(source);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use int_packet::int::IntRecord;
+    use int_packet::ProbePayload;
+
+    fn rec(switch_id: u32, maxq: u32, link_lat_ms: u64, egress_ts_ms: u64) -> IntRecord {
+        IntRecord {
+            switch_id,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: maxq,
+            qlen_at_probe_pkts: 0,
+            link_latency_ns: link_lat_ms * 1_000_000,
+            egress_ts_ns: egress_ts_ms * 1_000_000,
+        }
+    }
+
+    fn probe(origin: u32, seq: u64, chain: &[(u32, u64)]) -> ProbePayload {
+        let mut p = ProbePayload::new(origin, seq, 0);
+        for (i, &(sw, lat_ms)) in chain.iter().enumerate() {
+            p.int.push(rec(sw, 0, lat_ms, (i as u64 + 1) * 11));
+        }
+        p
+    }
+
+    /// Two routes host1→host6: 1–10–11–6 (fast) and 1–12–13–6 (slow).
+    fn two_route_map() -> NetworkMap {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&probe(1, 1, &[(10, 5), (11, 5)]), 6, 22_000_000);
+        m.apply_probe(&probe(1, 2, &[(12, 30), (13, 30)]), 6, 70_000_000);
+        m
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_small_map() {
+        let m = two_route_map();
+        let cfg = CoreConfig::default();
+        let mut eng = PathEngine::new();
+        for from in [1u32, 6] {
+            for to in [1u32, 6, 99] {
+                let oracle = m.path(&cfg, NetNode::Host(from), NetNode::Host(to));
+                let got = eng
+                    .path(&m, &cfg, NetNode::Host(from), NetNode::Host(to))
+                    .map(|p| p.to_vec());
+                assert_eq!(got, oracle, "{from}->{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_is_shared_across_targets_and_cache_serves_repeats() {
+        let m = two_route_map();
+        let cfg = CoreConfig::default();
+        let mut eng = PathEngine::new();
+        let targets = [NetNode::Switch(10), NetNode::Switch(12), NetNode::Host(6)];
+        for &t in &targets {
+            assert!(eng.path(&m, &cfg, NetNode::Host(1), t).is_some());
+        }
+        let s = eng.stats();
+        assert_eq!(s.sssp_runs, 1, "one SSSP serves all targets");
+        assert_eq!(s.cache_misses, 3);
+
+        for &t in &targets {
+            assert!(eng.path(&m, &cfg, NetNode::Host(1), t).is_some());
+        }
+        let s2 = eng.stats();
+        assert_eq!(s2.sssp_runs, 1, "repeats hit the cache");
+        assert_eq!(s2.cache_hits, 3);
+        assert_eq!(s2.csr_rebuilds, 1);
+        assert_eq!(s2.weight_refreshes, 1);
+    }
+
+    #[test]
+    fn metric_refresh_invalidates_cached_route_choice() {
+        let mut m = two_route_map();
+        let cfg = CoreConfig::default();
+        let mut eng = PathEngine::new();
+        let fast = eng.path(&m, &cfg, NetNode::Host(1), NetNode::Host(6)).unwrap().to_vec();
+        assert!(fast.contains(&NetNode::Switch(10)), "fast route first: {fast:?}");
+
+        // The fast route's links degrade to 100 ms: a metric-only update.
+        let topo_before = m.topology_generation();
+        for seq in 3..=20 {
+            m.apply_probe(&probe(1, seq, &[(10, 100), (11, 100)]), 6, 300_000_000);
+        }
+        assert_eq!(m.topology_generation(), topo_before, "no structural change");
+
+        let rerouted = eng.path(&m, &cfg, NetNode::Host(1), NetNode::Host(6)).unwrap().to_vec();
+        assert_eq!(rerouted, m.path(&cfg, NetNode::Host(1), NetNode::Host(6)).unwrap());
+        assert!(rerouted.contains(&NetNode::Switch(12)), "reroutes via slow path: {rerouted:?}");
+        assert_eq!(eng.stats().csr_rebuilds, 1, "metric drift never rebuilds the CSR");
+    }
+
+    #[test]
+    fn eviction_invalidates_cache_no_stale_path_survives() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&probe(1, 1, &[(10, 5), (11, 5)]), 6, 22_000_000);
+        let cfg = CoreConfig::default();
+        let mut eng = PathEngine::new();
+        assert!(eng.path(&m, &cfg, NetNode::Host(6), NetNode::Host(1)).is_some());
+
+        m.evict_stale(22_000_000 + 10_000_000_001, 10_000_000_000);
+        assert_eq!(
+            eng.path(&m, &cfg, NetNode::Host(6), NetNode::Host(1)),
+            None,
+            "a dead path must not be served from the cache"
+        );
+
+        // Re-learning restores it.
+        m.apply_probe(&probe(1, 2, &[(10, 5), (11, 5)]), 6, 32_000_000_002);
+        assert!(eng.path(&m, &cfg, NetNode::Host(6), NetNode::Host(1)).is_some());
+    }
+
+    #[test]
+    fn disabled_cache_returns_identical_paths() {
+        let m = two_route_map();
+        let cfg = CoreConfig::default();
+        let mut on = PathEngine::new();
+        let mut off = PathEngine::new();
+        off.set_cache_enabled(false);
+        for from in [1u32, 6] {
+            for to in [1u32, 6] {
+                let a = on.path(&m, &cfg, NetNode::Host(from), NetNode::Host(to)).map(<[_]>::to_vec);
+                let b =
+                    off.path(&m, &cfg, NetNode::Host(from), NetNode::Host(to)).map(<[_]>::to_vec);
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(off.stats().cache_hits + off.stats().cache_misses, 0);
+    }
+
+    #[test]
+    fn unknown_endpoints_are_unreachable_but_self_path_is_free() {
+        let m = two_route_map();
+        let cfg = CoreConfig::default();
+        let mut eng = PathEngine::new();
+        assert_eq!(eng.path(&m, &cfg, NetNode::Host(1), NetNode::Host(42)), None);
+        assert_eq!(eng.path(&m, &cfg, NetNode::Host(42), NetNode::Host(1)), None);
+        assert_eq!(
+            eng.path(&m, &cfg, NetNode::Host(42), NetNode::Host(42)),
+            Some(&[NetNode::Host(42)][..]),
+            "self paths need no map knowledge, as in the oracle"
+        );
+    }
+}

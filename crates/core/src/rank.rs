@@ -7,6 +7,7 @@
 use crate::config::CoreConfig;
 use crate::estimate::{BandwidthEstimator, DelayEstimator};
 use crate::map::{NetNode, NetworkMap};
+use crate::pathidx::{PathEngine, PathEngineStats};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -116,25 +117,60 @@ impl StaticDistances {
     }
 }
 
-/// The ranking engine: owns the estimators and baseline state.
+/// The ranking engine: owns the estimators, the indexed path engine with
+/// its reusable scratch buffers and path cache, and baseline state.
 #[derive(Debug, Clone)]
 pub struct Ranker {
     delay: DelayEstimator,
     bandwidth: BandwidthEstimator,
     distances: StaticDistances,
     rng: SmallRng,
+    cfg: CoreConfig,
+    engine: PathEngine,
 }
 
 impl Ranker {
     /// Build a ranker. `distances` feeds the Nearest baseline; `seed`
-    /// drives the Random baseline.
+    /// drives the Random baseline. `INT_PATH_CACHE=0` (or `off`) in the
+    /// environment force-disables the path cache — a determinism A/B
+    /// switch; results are identical either way.
     pub fn new(cfg: CoreConfig, distances: StaticDistances, seed: u64) -> Self {
+        let mut engine = PathEngine::new();
+        if matches!(
+            std::env::var("INT_PATH_CACHE").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        ) {
+            engine.set_cache_enabled(false);
+        }
         Ranker {
             delay: DelayEstimator::new(cfg.clone()),
-            bandwidth: BandwidthEstimator::new(cfg),
+            bandwidth: BandwidthEstimator::new(cfg.clone()),
             distances,
             rng: SmallRng::seed_from_u64(seed),
+            cfg,
+            engine,
         }
+    }
+
+    /// Enable or force-disable the path cache (see [`PathEngine`]).
+    pub fn set_path_cache_enabled(&mut self, on: bool) {
+        self.engine.set_cache_enabled(on);
+    }
+
+    /// Path-engine accounting counters (steady-state tests).
+    pub fn path_stats(&self) -> PathEngineStats {
+        self.engine.stats()
+    }
+
+    /// The path the ranking hot path would use between two nodes — the
+    /// indexed engine's answer, owned (tests and diagnostics).
+    pub fn learned_path(
+        &mut self,
+        map: &NetworkMap,
+        from: NetNode,
+        to: NetNode,
+    ) -> Option<Vec<NetNode>> {
+        self.engine.path(map, &self.cfg, from, to).map(<[NetNode]>::to_vec)
     }
 
     /// Rank `candidates` for `requester` under `policy`, best first.
@@ -150,10 +186,30 @@ impl Ranker {
         policy: Policy,
         now_ns: u64,
     ) -> Vec<RankedServer> {
-        let mut out: Vec<RankedServer> =
-            candidates.iter().map(|&host| self.estimate(map, requester, host, now_ns)).collect();
-        self.sort(&mut out, requester, policy);
+        let mut out = Vec::new();
+        self.rank_into(map, requester, candidates, policy, now_ns, &mut out);
         out
+    }
+
+    /// [`Ranker::rank`] into a caller-owned buffer: the steady-state query
+    /// path (warm path cache, reused buffer) performs zero heap
+    /// allocations.
+    pub fn rank_into(
+        &mut self,
+        map: &NetworkMap,
+        requester: u32,
+        candidates: &[u32],
+        policy: Policy,
+        now_ns: u64,
+        out: &mut Vec<RankedServer>,
+    ) {
+        out.clear();
+        out.reserve(candidates.len());
+        for &host in candidates {
+            let est = self.estimate(map, requester, host, now_ns);
+            out.push(est);
+        }
+        self.sort(out, requester, policy);
     }
 
     /// Failure-aware ranking: candidates the map has no live path to, or
@@ -165,6 +221,10 @@ impl Ranker {
     /// asymmetry the failover experiment measures. As a warm-up escape
     /// hatch, if *no* candidate has a path and none is silent (an empty
     /// map, not a failure), everyone is ranked as [`Ranker::rank`] would.
+    ///
+    /// `silent` must be sorted ascending (as
+    /// [`crate::collector::IntCollector::silent_origins`] returns it) —
+    /// membership is a binary search.
     pub fn rank_detailed(
         &mut self,
         map: &NetworkMap,
@@ -174,6 +234,7 @@ impl Ranker {
         now_ns: u64,
         silent: &[u32],
     ) -> RankOutcome {
+        debug_assert!(silent.windows(2).all(|w| w[0] <= w[1]), "silent must be sorted");
         if matches!(policy, Policy::Nearest | Policy::Random) {
             return RankOutcome {
                 ranked: self.rank(map, requester, candidates, policy, now_ns),
@@ -183,60 +244,71 @@ impl Ranker {
 
         let mut ranked = Vec::with_capacity(candidates.len());
         let mut excluded = Vec::new();
+        // Estimates of the pathless candidates, kept so the warm-up
+        // fallback can reuse them instead of re-estimating from scratch.
+        let mut pathless = Vec::new();
         for &host in candidates {
-            if silent.contains(&host) {
+            if silent.binary_search(&host).is_ok() {
                 excluded.push((host, ExcludeReason::OriginSilent));
                 continue;
             }
             let est = self.estimate(map, requester, host, now_ns);
             if est.est_delay_ns == u64::MAX {
                 excluded.push((host, ExcludeReason::NoFreshPath));
+                pathless.push(est);
             } else {
                 ranked.push(est);
             }
         }
 
         if ranked.is_empty() && excluded.iter().all(|(_, r)| *r == ExcludeReason::NoFreshPath) {
-            // The map knows no paths at all: warm-up, not a failure.
-            return RankOutcome {
-                ranked: self.rank(map, requester, candidates, policy, now_ns),
-                excluded: Vec::new(),
-            };
+            // The map knows no paths at all: warm-up, not a failure. Every
+            // candidate's estimate is already in `pathless` (nobody was
+            // silent); rank those instead of recomputing each one.
+            let mut ranked = pathless;
+            self.sort(&mut ranked, requester, policy);
+            return RankOutcome { ranked, excluded: Vec::new() };
         }
 
         self.sort(&mut ranked, requester, policy);
-        excluded.sort_by_key(|(h, _)| *h);
+        excluded.sort_unstable_by_key(|(h, _)| *h);
         RankOutcome { ranked, excluded }
     }
 
-    fn estimate(&self, map: &NetworkMap, requester: u32, host: u32, now_ns: u64) -> RankedServer {
-        let delay =
-            self.delay.estimate(map, NetNode::Host(requester), NetNode::Host(host), now_ns);
-        let bw =
-            self.bandwidth.estimate(map, NetNode::Host(requester), NetNode::Host(host), now_ns);
-        RankedServer {
-            host,
-            est_delay_ns: delay.map(|d| d.total_ns()).unwrap_or(u64::MAX),
-            est_bandwidth_bps: bw.unwrap_or(0),
+    /// Estimate one candidate. The path is computed **once** via the
+    /// indexed engine and fed to both estimators — the delay and bandwidth
+    /// figures always describe the same route (and the engine's shared
+    /// SSSP means all candidates of one query reuse a single Dijkstra).
+    fn estimate(&mut self, map: &NetworkMap, requester: u32, host: u32, now_ns: u64) -> RankedServer {
+        match self.engine.path(map, &self.cfg, NetNode::Host(requester), NetNode::Host(host)) {
+            None => RankedServer { host, est_delay_ns: u64::MAX, est_bandwidth_bps: 0 },
+            Some(path) => RankedServer {
+                host,
+                est_delay_ns: self.delay.estimate_along(map, path, now_ns).total_ns(),
+                est_bandwidth_bps: self.bandwidth.estimate_along(map, path, now_ns),
+            },
         }
     }
 
     fn sort(&mut self, out: &mut [RankedServer], requester: u32, policy: Policy) {
+        // All sort keys include the host id, so every key is unique and
+        // `sort_unstable` orders exactly as the stable sort did — without
+        // the stable sort's scratch allocation on larger candidate sets.
         match policy {
             Policy::IntDelay => {
-                out.sort_by_key(|s| (s.est_delay_ns, s.host));
+                out.sort_unstable_by_key(|s| (s.est_delay_ns, s.host));
             }
             Policy::IntBandwidth => {
                 // Bandwidth estimates are coarse (a piecewise curve over
                 // integer queue lengths), so ties are common; break them by
                 // estimated delay, then host id, instead of herding every
                 // equal-bandwidth query onto the lowest host id.
-                out.sort_by_key(|s| {
+                out.sort_unstable_by_key(|s| {
                     (std::cmp::Reverse(s.est_bandwidth_bps), s.est_delay_ns, s.host)
                 });
             }
             Policy::Nearest => {
-                out.sort_by_key(|s| {
+                out.sort_unstable_by_key(|s| {
                     (self.distances.get(requester, s.host).unwrap_or(u32::MAX), s.host)
                 });
             }
@@ -390,6 +462,82 @@ mod tests {
         let detailed = b.rank_detailed(&map(), 6, &[1, 2], Policy::IntDelay, 32_000_000, &[]);
         assert_eq!(plain, detailed.ranked);
         assert!(detailed.excluded.is_empty());
+    }
+
+    /// Regression (Ranker::estimate used to run two independent Dijkstras
+    /// per candidate): the single shared path must yield exactly the
+    /// estimates two independent point-to-point computations produce.
+    #[test]
+    fn delay_and_bandwidth_estimates_match_independent_computations() {
+        use crate::estimate::{BandwidthEstimator, DelayEstimator};
+        let m = map();
+        let cfg = CoreConfig::default();
+        let mut r = Ranker::new(cfg.clone(), distances(), 1);
+        let ranked = r.rank(&m, 6, &[1, 2], Policy::IntDelay, 32_000_000);
+
+        let de = DelayEstimator::new(cfg.clone());
+        let be = BandwidthEstimator::new(cfg);
+        for s in &ranked {
+            let d = de.estimate(&m, NetNode::Host(6), NetNode::Host(s.host), 32_000_000);
+            let b = be.estimate(&m, NetNode::Host(6), NetNode::Host(s.host), 32_000_000);
+            assert_eq!(s.est_delay_ns, d.unwrap().total_ns(), "host {}", s.host);
+            assert_eq!(s.est_bandwidth_bps, b.unwrap(), "host {}", s.host);
+        }
+    }
+
+    /// One query = one SSSP shared by all candidates and both estimators;
+    /// repeat queries against an unchanged map do no traversal work at
+    /// all (pool-style steady-state accounting, as in PR 1).
+    #[test]
+    fn query_shares_one_sssp_and_steady_state_does_no_work() {
+        let m = map();
+        let mut r = Ranker::new(CoreConfig::default(), distances(), 1);
+        r.rank(&m, 6, &[1, 2], Policy::IntDelay, 32_000_000);
+        let s = r.path_stats();
+        assert_eq!(s.sssp_runs, 1, "2 candidates × 2 estimators share one Dijkstra");
+        assert_eq!(s.csr_rebuilds, 1);
+
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            r.rank_into(&m, 6, &[1, 2], Policy::IntDelay, 32_000_000, &mut out);
+            r.rank_into(&m, 6, &[1, 2], Policy::IntBandwidth, 32_000_000, &mut out);
+        }
+        let s2 = r.path_stats();
+        assert_eq!(s2.sssp_runs, 1, "steady state never re-runs Dijkstra");
+        assert_eq!(s2.csr_rebuilds, 1, "…nor rebuilds the CSR");
+        assert_eq!(s2.cache_misses, s.cache_misses, "…nor misses the path cache");
+        assert_eq!(s2.cache_hits, s.cache_hits + 200, "every steady-state path is a hit");
+    }
+
+    /// The ranking hot path and the reference `NetworkMap::path` agree on
+    /// routes even as telemetry updates and evictions churn the map.
+    #[test]
+    fn learned_path_tracks_oracle_through_churn() {
+        let mut m = map();
+        let cfg = CoreConfig::default();
+        let mut r = Ranker::new(cfg.clone(), distances(), 1);
+        let check = |r: &mut Ranker, m: &NetworkMap| {
+            for (from, to) in [(6u32, 1u32), (6, 2), (1, 2), (1, 99)] {
+                let oracle = m.path(&cfg, NetNode::Host(from), NetNode::Host(to));
+                let got = r.learned_path(m, NetNode::Host(from), NetNode::Host(to));
+                assert_eq!(got, oracle, "{from}->{to}");
+            }
+        };
+        check(&mut r, &m);
+        // Metric churn on an existing edge.
+        let mut p = ProbePayload::new(1, 9, 0);
+        p.int.push(rec(10, 50, 11));
+        p.int.push(rec(11, 3, 22));
+        m.apply_probe(&p, 6, 64_000_000);
+        check(&mut r, &m);
+        // Structural churn: evict everything, then relearn one branch.
+        m.evict_stale(64_000_000 + 10_000_000_001, 10_000_000_000);
+        check(&mut r, &m);
+        let mut p = ProbePayload::new(2, 9, 0);
+        p.int.push(rec(12, 0, 11));
+        p.int.push(rec(11, 0, 22));
+        m.apply_probe(&p, 6, 64_000_000 + 10_100_000_000);
+        check(&mut r, &m);
     }
 
     #[test]

@@ -57,6 +57,30 @@ impl SchedulerCore {
         &self.cfg
     }
 
+    /// Enable or force-disable the ranker's path cache (determinism A/B
+    /// switch; results are identical either way, only the work differs).
+    pub fn set_path_cache_enabled(&mut self, on: bool) {
+        self.ranker.set_path_cache_enabled(on);
+    }
+
+    /// Path-engine accounting counters (steady-state and invalidation
+    /// tests).
+    pub fn path_stats(&self) -> crate::pathidx::PathEngineStats {
+        self.ranker.path_stats()
+    }
+
+    /// The route the ranking hot path would use between two hosts right
+    /// now — the indexed engine's answer over the learned map (tests and
+    /// diagnostics; agrees with `NetworkMap::path` by construction).
+    pub fn learned_path(
+        &mut self,
+        from: u32,
+        to: u32,
+    ) -> Option<Vec<crate::map::NetNode>> {
+        use crate::map::NetNode;
+        self.ranker.learned_path(self.collector.map(), NetNode::Host(from), NetNode::Host(to))
+    }
+
     /// The telemetry collector (probe ingest + learned map).
     pub fn collector(&self) -> &IntCollector {
         &self.collector

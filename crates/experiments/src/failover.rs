@@ -82,6 +82,18 @@ pub struct FailoverOutput {
 /// Run one cell: warm up, cut the link, poll the ranking until well past
 /// the detection horizon.
 fn run_cell(seed: u64, policy: Policy, interval: SimDuration) -> FailoverPoint {
+    run_cell_opts(seed, policy, interval, true)
+}
+
+/// [`run_cell`] with the scheduler's path cache optionally force-disabled
+/// — the same A/B switch `INT_PATH_CACHE=0` flips, used to show the cache
+/// changes no observable result of the failover scenario.
+fn run_cell_opts(
+    seed: u64,
+    policy: Policy,
+    interval: SimDuration,
+    path_cache: bool,
+) -> FailoverPoint {
     let iv_ns = interval.as_nanos();
 
     // Zero the failure horizons so the testbed's interval scaling sets
@@ -103,6 +115,13 @@ fn run_cell(seed: u64, policy: Policy, interval: SimDuration) -> FailoverPoint {
         ..TestbedConfig::default()
     };
     let mut tb = Testbed::new(&cfg);
+    if !path_cache {
+        tb.sim
+            .app_mut::<SchedulerApp>(tb.scheduler, tb.scheduler_app)
+            .expect("scheduler app")
+            .core_mut()
+            .set_path_cache_enabled(false);
+    }
 
     // Warm-up long enough for all-pairs coverage even at slow intervals;
     // then observe for the 10-interval eviction horizon plus slack.
@@ -231,6 +250,104 @@ mod tests {
 
         assert_eq!(rand.detect_ms, None);
         assert!(rand.degraded_frac > 0.01 && rand.degraded_frac < 0.5, "chance hits");
+    }
+
+    /// The path cache is pure memoization: the whole failover cell — every
+    /// detect/resched timing and degraded fraction, and therefore every
+    /// `ExcludeReason` the polls observed — is byte-identical with the
+    /// cache force-disabled.
+    #[test]
+    fn path_cache_changes_no_failover_result() {
+        let iv = SimDuration::from_millis(100);
+        for policy in [Policy::IntDelay, Policy::Nearest] {
+            let on = run_cell_opts(7, policy, iv, true);
+            let off = run_cell_opts(7, policy, iv, false);
+            assert_eq!(
+                serde_json::to_string(&on).unwrap(),
+                serde_json::to_string(&off).unwrap(),
+                "{policy:?} cell must not depend on the path cache"
+            );
+        }
+    }
+
+    /// Regression guard on cache invalidation under failover: at every
+    /// poll the hot path's route equals the reference `NetworkMap::path`
+    /// over the *current* map — a stale cache hit would diverge the moment
+    /// `evict_stale` drops the cut sw9–sw10 link — and once both
+    /// directions of the link are evicted no returned route crosses it.
+    #[test]
+    fn eviction_invalidates_cached_paths_immediately() {
+        let interval = SimDuration::from_millis(100);
+        let iv_ns = interval.as_nanos();
+        let mut core = CoreConfig::default();
+        core.eviction_horizon_ns = 0;
+        core.origin_silence_ns = 0;
+        core.qlen_window_ns = core.qlen_window_ns.max(iv_ns + 100_000_000);
+        core.staleness_ns = core.staleness_ns.max(2 * iv_ns);
+        let cfg = TestbedConfig {
+            seed: 7,
+            policy: Policy::IntDelay,
+            probe_interval: interval,
+            core: core.clone(),
+            int_enabled: true,
+            ..TestbedConfig::default()
+        };
+        let mut tb = Testbed::new(&cfg);
+
+        let warm_ns = (5 * iv_ns).max(5_000_000_000);
+        let t_fail = SimTime::ZERO + SimDuration::from_nanos(warm_ns);
+        let t_end = t_fail + SimDuration::from_nanos(10 * iv_ns + warm_ns);
+        let (a, b) = (tb.switches[FAIL_LINK.0], tb.switches[FAIL_LINK.1]);
+        tb.sim.install_fault_plan(&FaultPlan::new().link_down(a, b, t_fail));
+        let dead = [NetNode::Switch(a.0), NetNode::Switch(b.0)];
+
+        let requester = tb.node(REQUESTER).0;
+        let target = tb.node(TARGET).0;
+        let poll = SimDuration::from_millis(100);
+        let mut t = SimTime::ZERO + poll;
+        let mut polls_fully_evicted = 0usize;
+        while t.as_nanos() <= t_end.as_nanos() {
+            tb.sim.run_until(t);
+            let app = tb
+                .sim
+                .app_mut::<SchedulerApp>(tb.scheduler, tb.scheduler_app)
+                .expect("scheduler app");
+            // The poll itself runs evict_stale before ranking.
+            app.core_mut().rank_detailed_with(requester, Policy::IntDelay, t.as_nanos());
+
+            // The hot path must track the live map exactly — a stale
+            // cache entry would diverge from the oracle right after the
+            // eviction restructures the graph. (The oracle's routing
+            // weights only read cfg fields Testbed::new leaves alone.)
+            let oracle = app.core().collector().map().path(
+                &core,
+                NetNode::Host(requester),
+                NetNode::Host(target),
+            );
+            let got = app.core_mut().learned_path(requester, target);
+            assert_eq!(got, oracle, "engine diverged from oracle at t={}ns", t.as_nanos());
+
+            let dead_dirs = app
+                .core()
+                .collector()
+                .map()
+                .dead_edges()
+                .filter(|&(x, y, _)| [x, y] == dead || [y, x] == dead)
+                .count();
+            if dead_dirs == 2 {
+                // Both directions evicted: no route may cross the link.
+                polls_fully_evicted += 1;
+                if let Some(p) = got {
+                    assert!(
+                        !p.windows(2).any(|w| [w[0], w[1]] == dead || [w[1], w[0]] == dead),
+                        "route through the dead link at t={}ns: {p:?}",
+                        t.as_nanos()
+                    );
+                }
+            }
+            t += poll;
+        }
+        assert!(polls_fully_evicted > 0, "the scenario must fully evict the cut link");
     }
 
     /// Same grid, one worker vs many: byte-identical artifacts.

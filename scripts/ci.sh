@@ -24,8 +24,10 @@ bench_log="$(cargo bench -p int-bench -- --test 2>&1)"
 echo "$bench_log"
 # The PR-4 hot-path benches must stay registered: the timing-wheel
 # overflow variants and the indexed-vs-linear flow-table pair are the
-# regression guards for results/bench_pr4.json.
-for name in push_pop_far_1k timer_heavy_20s flow_table/lpm_indexed/512 flow_table/lpm_linear/512; do
+# regression guards for results/bench_pr4.json. The PR-5 rank_throughput
+# pair guards results/bench_pr5.json the same way.
+for name in push_pop_far_1k timer_heavy_20s flow_table/lpm_indexed/512 flow_table/lpm_linear/512 \
+            rank_throughput/testbed_8h rank_throughput/fabric_64s_128h; do
     grep -q "$name" <<<"$bench_log" \
         || { echo "bench smoke: $name missing from harness"; exit 1; }
 done
@@ -40,6 +42,16 @@ INT_RESULTS_DIR="$smoke_dir" INT_EXP_THREADS=1 \
 grep -A2 '"policy": "IntDelay"' "$smoke_dir/failover.json" \
     | grep -q '"detect_ms": [0-9]' \
     || { echo "failover smoke: no finite detect_ms for IntDelay"; exit 1; }
+
+echo "== rank determinism (smoke)"
+# The scheduler's path cache is pure memoization: the same cell with the
+# cache force-disabled must produce a byte-identical artifact.
+nocache_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$nocache_dir"' EXIT
+INT_RESULTS_DIR="$nocache_dir" INT_EXP_THREADS=1 INT_PATH_CACHE=0 \
+    cargo run --release -q -p int-experiments --bin repro -- failover --seed 1 --scale 0.25
+cmp "$smoke_dir/failover.json" "$nocache_dir/failover.json" \
+    || { echo "rank determinism smoke: path cache changed the artifact"; exit 1; }
 
 echo "== audit export (smoke)"
 # Tiny instrumented cell: the exported artifact and both embedded JSON

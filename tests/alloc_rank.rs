@@ -1,0 +1,118 @@
+//! Steady-state rank queries perform **zero heap allocations**.
+//!
+//! A counting allocator wraps the system allocator (this integration test
+//! is its own binary, so the `#[global_allocator]` is scoped to it). After
+//! one warm-up query per (requester, policy) — which builds the CSR
+//! snapshot, runs the shared Dijkstra, and fills the path cache — every
+//! further `rank_into` call into a reused buffer must hit only cached
+//! paths, reused scratch, and in-place sorting.
+//!
+//! Single test function on purpose: parallel tests would interleave their
+//! allocations into the shared counter.
+
+use int_edge_sched::core::rank::{Ranker, StaticDistances};
+use int_edge_sched::core::{CoreConfig, Policy, RankedServer};
+use int_edge_sched::packet::int::IntRecord;
+use int_edge_sched::packet::ProbePayload;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// Only the test thread's allocations count — the libtest harness threads
+// allocate at their own pace (progress output, channel bookkeeping) and
+// would make the counter flaky. `Cell<bool>` has no destructor, so the
+// TLS access inside the allocator cannot itself allocate or recurse.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counted(here: bool) -> bool {
+    COUNTING.try_with(|c| c.replace(here)).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.try_with(Cell::get).unwrap_or(false) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.try_with(Cell::get).unwrap_or(false) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Testbed-scale map: 8 servers, each behind its own leaf switch, all
+/// joined by spine switch 20 next to scheduler host 100.
+fn learned_map() -> int_edge_sched::core::NetworkMap {
+    let mut m = int_edge_sched::core::NetworkMap::new();
+    for h in 0..8u32 {
+        let mut p = ProbePayload::new(h, 1, 0);
+        for (i, sw) in [10 + h, 20].into_iter().enumerate() {
+            p.int.push(IntRecord {
+                switch_id: sw,
+                ingress_port: 0,
+                egress_port: 1,
+                max_qlen_pkts: h * 3,
+                qlen_at_probe_pkts: h,
+                link_latency_ns: 10_000_000,
+                egress_ts_ns: (i as u64 + 1) * 10_000_000,
+            });
+        }
+        m.apply_probe(&p, 100, 30_000_000);
+    }
+    m
+}
+
+#[test]
+fn steady_state_rank_queries_allocate_nothing() {
+    let m = learned_map();
+    let candidates: Vec<u32> = (0..8).collect();
+    let mut r = Ranker::new(CoreConfig::default(), StaticDistances::new(), 1);
+    let mut out: Vec<RankedServer> = Vec::new();
+
+    // Warm-up: snapshot + SSSP + cache fill + buffer growth.
+    for policy in [Policy::IntDelay, Policy::IntBandwidth] {
+        r.rank_into(&m, 100, &candidates, policy, 30_000_000, &mut out);
+    }
+    let warm = r.path_stats();
+    assert_eq!(warm.sssp_runs, 1, "both policies share one Dijkstra");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    counted(true);
+    for round in 0..1_000u64 {
+        let now = 30_000_000 + round; // vary the query, not the map
+        r.rank_into(&m, 100, &candidates, Policy::IntDelay, now, &mut out);
+        r.rank_into(&m, 100, &candidates, Policy::IntBandwidth, now, &mut out);
+    }
+    counted(false);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state rank queries must not touch the heap"
+    );
+
+    let steady = r.path_stats();
+    assert_eq!(steady.sssp_runs, warm.sssp_runs, "no extra Dijkstra runs");
+    assert_eq!(steady.csr_rebuilds, warm.csr_rebuilds, "no CSR rebuilds");
+    assert_eq!(
+        steady.cache_hits,
+        warm.cache_hits + 2 * 8 * 1_000,
+        "every steady-state path resolution is a cache hit"
+    );
+    assert!(!out.is_empty());
+}
