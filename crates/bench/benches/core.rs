@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use int_core::rank::{Ranker, StaticDistances};
+use int_core::shard::{RankQuery, ShardedScheduler};
 use int_core::{CoreConfig, DelayEstimator, IntCollector, NetNode, NetworkMap, Policy};
 use int_packet::int::IntRecord;
 use int_packet::ProbePayload;
@@ -136,12 +137,70 @@ fn bench_rank_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// The PR 6 headline: aggregate rank throughput of the sharded,
+/// snapshot-based control plane at 1/2/4/8 read workers. One epoch is
+/// published up front (steady state between probe rounds); each
+/// iteration admits and serves a 256-query batch through `serve_batch`,
+/// so the measurement includes the chunking and thread-scope cost the
+/// real scheduler pays. Single-worker batches skip the thread machinery
+/// entirely — that is the A in the A/B.
+fn bench_rank_throughput_mt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank_throughput_mt");
+
+    let batch: Vec<RankQuery> = (0..256)
+        .map(|i| RankQuery {
+            requester: (i * 7) % 128,
+            policy: match i % 3 {
+                0 => Policy::IntDelay,
+                1 => Policy::IntBandwidth,
+                _ => Policy::Nearest,
+            },
+            now_ns: 50_000_000,
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("fabric_64s_128h", workers),
+            &workers,
+            |b, &workers| {
+                let mut s = ShardedScheduler::new(
+                    1000,
+                    CoreConfig::default(),
+                    StaticDistances::new(),
+                    1,
+                    workers,
+                );
+                for h in 0..128u32 {
+                    let chain = [100 + h % 32, 200 + h % 16, 300 + h % 8, 400 + (h / 16) % 8];
+                    s.core_mut()
+                        .collector_mut()
+                        .ingest(&probe_through(h, &chain, h % 8), 50_000_000);
+                    let rev: Vec<u32> = chain.iter().rev().copied().collect();
+                    s.core_mut()
+                        .collector_mut()
+                        .ingest_relayed(&probe_through(1000, &rev, h % 5), h, 50_000_000);
+                }
+                s.advance(50_000_000);
+                let mut out = Vec::new();
+                b.iter(|| {
+                    s.serve_batch(&batch, &mut out);
+                    black_box(out.len())
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_probe_ingest,
     bench_path_traversal,
     bench_delay_estimate,
     bench_ranking,
-    bench_rank_throughput
+    bench_rank_throughput,
+    bench_rank_throughput_mt
 );
 criterion_main!(benches);

@@ -52,6 +52,11 @@ pub struct IntCollector {
     scheduler_host: u32,
     origins: BTreeMap<u32, OriginStats>,
     parse_errors: u64,
+    /// Total probes accepted (direct + relayed). Monotone; lets the
+    /// snapshot publisher detect ingest activity that touched only
+    /// per-origin accounting (e.g. an empty-record probe refreshing
+    /// `last_rx_ns`) without scanning the origin table.
+    probes_accepted: u64,
 }
 
 impl IntCollector {
@@ -59,7 +64,13 @@ impl IntCollector {
     pub fn new(scheduler_host: u32) -> Self {
         let mut map = NetworkMap::new();
         map.register_host(scheduler_host);
-        IntCollector { map, scheduler_host, origins: BTreeMap::new(), parse_errors: 0 }
+        IntCollector {
+            map,
+            scheduler_host,
+            origins: BTreeMap::new(),
+            parse_errors: 0,
+            probes_accepted: 0,
+        }
     }
 
     /// The learned network map.
@@ -87,6 +98,17 @@ impl IntCollector {
         self.origins.keys().copied()
     }
 
+    /// Per-origin accounting for every origin, in ascending origin order
+    /// (snapshot construction).
+    pub fn origin_stats_all(&self) -> impl Iterator<Item = (u32, OriginStats)> + '_ {
+        self.origins.iter().map(|(&o, st)| (o, *st))
+    }
+
+    /// Total probes accepted so far (direct + relayed ingest).
+    pub fn probes_accepted(&self) -> u64 {
+        self.probes_accepted
+    }
+
     /// Number of probe payloads that failed to parse.
     pub fn parse_errors(&self) -> u64 {
         self.parse_errors
@@ -112,6 +134,7 @@ impl IntCollector {
     /// `rx_ts_ns` is the terminal's receive timestamp.
     pub fn ingest_relayed(&mut self, probe: &ProbePayload, terminal: u32, rx_ts_ns: u64) {
         self.origins.entry(probe.origin_node).or_default().note_probe(probe.seq, rx_ts_ns);
+        self.probes_accepted += 1;
         self.map.register_host(terminal);
         self.map.apply_probe(probe, terminal, rx_ts_ns);
     }
@@ -119,19 +142,30 @@ impl IntCollector {
     /// Ingest an already-decoded probe.
     pub fn ingest(&mut self, probe: &ProbePayload, now_ns: u64) {
         self.origins.entry(probe.origin_node).or_default().note_probe(probe.seq, now_ns);
+        self.probes_accepted += 1;
         self.map.apply_probe(probe, self.scheduler_host, now_ns);
     }
 
     /// Origins presumed unreachable: they sent probes before but nothing
     /// within `horizon_ns` of `now_ns` (deterministic order).
     pub fn silent_origins(&self, now_ns: u64, horizon_ns: u64) -> Vec<u32> {
-        self.origins
-            .iter()
-            .filter(|(_, st)| {
-                st.received > 0 && now_ns.saturating_sub(st.last_rx_ns) > horizon_ns
-            })
-            .map(|(&o, _)| o)
-            .collect()
+        let mut out = Vec::new();
+        self.silent_origins_into(now_ns, horizon_ns, &mut out);
+        out
+    }
+
+    /// [`IntCollector::silent_origins`] into a caller-owned buffer (the
+    /// zero-alloc query path). The buffer comes back sorted ascending.
+    pub fn silent_origins_into(&self, now_ns: u64, horizon_ns: u64, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(
+            self.origins
+                .iter()
+                .filter(|(_, st)| {
+                    st.received > 0 && now_ns.saturating_sub(st.last_rx_ns) > horizon_ns
+                })
+                .map(|(&o, _)| o),
+        );
     }
 }
 

@@ -11,6 +11,7 @@
 
 use crate::config::CoreConfig;
 use crate::map::{NetNode, NetworkMap};
+use std::sync::Arc;
 
 /// Components of a delay estimate (useful for diagnostics and ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,13 +36,16 @@ impl DelayBreakdown {
 /// Algorithm 1's delay model.
 #[derive(Debug, Clone)]
 pub struct DelayEstimator {
-    cfg: CoreConfig,
+    /// Shared, not cloned: the ranker, both estimators, and the scheduler
+    /// shards all point at one `CoreConfig` allocation.
+    cfg: Arc<CoreConfig>,
 }
 
 impl DelayEstimator {
-    /// Estimator with the given configuration.
-    pub fn new(cfg: CoreConfig) -> Self {
-        DelayEstimator { cfg }
+    /// Estimator with the given configuration. Accepts either an owned
+    /// `CoreConfig` or an already-shared `Arc<CoreConfig>`.
+    pub fn new(cfg: impl Into<Arc<CoreConfig>>) -> Self {
+        DelayEstimator { cfg: cfg.into() }
     }
 
     /// The configuration in use.
@@ -100,13 +104,13 @@ impl DelayEstimator {
 /// §III-D's bottleneck available-bandwidth model.
 #[derive(Debug, Clone)]
 pub struct BandwidthEstimator {
-    cfg: CoreConfig,
+    cfg: Arc<CoreConfig>,
 }
 
 impl BandwidthEstimator {
-    /// Estimator with the given configuration.
-    pub fn new(cfg: CoreConfig) -> Self {
-        BandwidthEstimator { cfg }
+    /// Estimator with the given configuration (owned or shared).
+    pub fn new(cfg: impl Into<Arc<CoreConfig>>) -> Self {
+        BandwidthEstimator { cfg: cfg.into() }
     }
 
     /// Estimate available path bandwidth between two hosts, bit/s.

@@ -38,6 +38,8 @@ pub mod map;
 pub mod pathidx;
 pub mod rank;
 pub mod sched;
+pub mod shard;
+pub mod snapshot;
 pub mod tuning;
 
 pub use collector::IntCollector;
@@ -47,3 +49,5 @@ pub use map::{EdgeState, NetNode, NetworkMap};
 pub use pathidx::{PathEngine, PathEngineStats};
 pub use rank::{ExcludeReason, Policy, RankOutcome, RankedServer};
 pub use sched::SchedulerCore;
+pub use shard::{EpochSlot, RankQuery, ShardedScheduler};
+pub use snapshot::{SchedSnapshot, SnapshotScratch, SnapshotServeStats};

@@ -72,6 +72,26 @@ pub struct PathEngineStats {
     pub cache_misses: u64,
 }
 
+impl PathEngineStats {
+    /// Export the counters as gauges into a metrics registry (last-write
+    /// wins, so repeated exports never double-count). The series land in
+    /// the registry's deterministic JSON snapshot, making snapshot-rebuild
+    /// churn visible in exported artifacts.
+    pub fn export(&self, metrics: &mut int_obs::MetricsRegistry, at_ns: u64) {
+        use int_obs::Labels;
+        let series: [(&'static str, u64); 5] = [
+            ("pathidx_csr_rebuilds", self.csr_rebuilds),
+            ("pathidx_weight_refreshes", self.weight_refreshes),
+            ("pathidx_sssp_runs", self.sssp_runs),
+            ("pathidx_cache_hits", self.cache_hits),
+            ("pathidx_cache_misses", self.cache_misses),
+        ];
+        for (name, v) in series {
+            metrics.gauge_set(name, Labels::none(), v as i64, at_ns);
+        }
+    }
+}
+
 /// Indexed shortest-path engine over a [`NetworkMap`]. See the module
 /// docs for the design; [`NetworkMap::path`] remains the oracle.
 ///
@@ -194,6 +214,23 @@ impl PathEngine {
             self.uncached = computed;
             self.uncached.as_deref()
         }
+    }
+
+    /// Bring the CSR snapshot and arc weights up to date for `map`/`cfg`
+    /// and expose them: `(nodes, row, cols, weights)`. Dense ids are the
+    /// indices into `nodes`; `row`/`cols` are the adjacency in CSR form;
+    /// `weights` are the ≥1-clamped traversal weights, parallel to
+    /// `cols`. This is the extraction hook [`crate::snapshot`] freezes an
+    /// epoch from — the snapshot copies these slices, so the engine stays
+    /// free to rebuild on the next generation move.
+    pub fn csr_view(
+        &mut self,
+        map: &NetworkMap,
+        cfg: &CoreConfig,
+    ) -> (&[NetNode], &[u32], &[u32], &[u64]) {
+        self.ensure_snapshot(map);
+        self.ensure_weights(map, cfg);
+        (&self.nodes, &self.row, &self.cols, &self.weights)
     }
 
     /// Extract the path for one pair from the (memoized) shared SSSP.

@@ -13,6 +13,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A ranking policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -123,18 +124,30 @@ impl StaticDistances {
 pub struct Ranker {
     delay: DelayEstimator,
     bandwidth: BandwidthEstimator,
-    distances: StaticDistances,
+    distances: Arc<StaticDistances>,
     rng: SmallRng,
-    cfg: CoreConfig,
+    /// One shared allocation: the estimators hold clones of this `Arc`,
+    /// not clones of the config itself.
+    cfg: Arc<CoreConfig>,
     engine: PathEngine,
+    /// Scratch for [`Ranker::rank_detailed_into`]: estimates of pathless
+    /// candidates, kept across calls so the warm-up fallback allocates
+    /// nothing in steady state.
+    pathless: Vec<RankedServer>,
 }
 
 impl Ranker {
     /// Build a ranker. `distances` feeds the Nearest baseline; `seed`
-    /// drives the Random baseline. `INT_PATH_CACHE=0` (or `off`) in the
-    /// environment force-disables the path cache — a determinism A/B
-    /// switch; results are identical either way.
-    pub fn new(cfg: CoreConfig, distances: StaticDistances, seed: u64) -> Self {
+    /// drives the Random baseline. Both `cfg` and `distances` accept
+    /// owned values or pre-shared `Arc`s. `INT_PATH_CACHE=0` (or `off`)
+    /// in the environment force-disables the path cache — a determinism
+    /// A/B switch; results are identical either way.
+    pub fn new(
+        cfg: impl Into<Arc<CoreConfig>>,
+        distances: impl Into<Arc<StaticDistances>>,
+        seed: u64,
+    ) -> Self {
+        let cfg = cfg.into();
         let mut engine = PathEngine::new();
         if matches!(
             std::env::var("INT_PATH_CACHE").as_deref(),
@@ -143,13 +156,24 @@ impl Ranker {
             engine.set_cache_enabled(false);
         }
         Ranker {
-            delay: DelayEstimator::new(cfg.clone()),
-            bandwidth: BandwidthEstimator::new(cfg.clone()),
-            distances,
+            delay: DelayEstimator::new(Arc::clone(&cfg)),
+            bandwidth: BandwidthEstimator::new(Arc::clone(&cfg)),
+            distances: distances.into(),
             rng: SmallRng::seed_from_u64(seed),
             cfg,
             engine,
+            pathless: Vec::new(),
         }
+    }
+
+    /// The shared configuration handle (cloning it clones the `Arc`).
+    pub fn config_arc(&self) -> Arc<CoreConfig> {
+        Arc::clone(&self.cfg)
+    }
+
+    /// The shared static-distance table handle.
+    pub fn distances_arc(&self) -> Arc<StaticDistances> {
+        Arc::clone(&self.distances)
     }
 
     /// Enable or force-disable the path cache (see [`PathEngine`]).
@@ -234,45 +258,68 @@ impl Ranker {
         now_ns: u64,
         silent: &[u32],
     ) -> RankOutcome {
+        let mut out = RankOutcome::default();
+        self.rank_detailed_into(map, requester, candidates, policy, now_ns, silent, &mut out);
+        out
+    }
+
+    /// [`Ranker::rank_detailed`] into a caller-owned outcome: all scratch
+    /// (including the warm-up `pathless` estimates) is engine-owned, so
+    /// the steady-state query path performs zero heap allocations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rank_detailed_into(
+        &mut self,
+        map: &NetworkMap,
+        requester: u32,
+        candidates: &[u32],
+        policy: Policy,
+        now_ns: u64,
+        silent: &[u32],
+        out: &mut RankOutcome,
+    ) {
         debug_assert!(silent.windows(2).all(|w| w[0] <= w[1]), "silent must be sorted");
+        out.ranked.clear();
+        out.excluded.clear();
         if matches!(policy, Policy::Nearest | Policy::Random) {
-            return RankOutcome {
-                ranked: self.rank(map, requester, candidates, policy, now_ns),
-                excluded: Vec::new(),
-            };
+            self.rank_into(map, requester, candidates, policy, now_ns, &mut out.ranked);
+            return;
         }
 
-        let mut ranked = Vec::with_capacity(candidates.len());
-        let mut excluded = Vec::new();
         // Estimates of the pathless candidates, kept so the warm-up
         // fallback can reuse them instead of re-estimating from scratch.
-        let mut pathless = Vec::new();
+        let mut pathless = std::mem::take(&mut self.pathless);
+        pathless.clear();
+        out.ranked.reserve(candidates.len());
         for &host in candidates {
             if silent.binary_search(&host).is_ok() {
-                excluded.push((host, ExcludeReason::OriginSilent));
+                out.excluded.push((host, ExcludeReason::OriginSilent));
                 continue;
             }
             let est = self.estimate(map, requester, host, now_ns);
             if est.est_delay_ns == u64::MAX {
-                excluded.push((host, ExcludeReason::NoFreshPath));
+                out.excluded.push((host, ExcludeReason::NoFreshPath));
                 pathless.push(est);
             } else {
-                ranked.push(est);
+                out.ranked.push(est);
             }
         }
 
-        if ranked.is_empty() && excluded.iter().all(|(_, r)| *r == ExcludeReason::NoFreshPath) {
+        if out.ranked.is_empty()
+            && out.excluded.iter().all(|(_, r)| *r == ExcludeReason::NoFreshPath)
+        {
             // The map knows no paths at all: warm-up, not a failure. Every
             // candidate's estimate is already in `pathless` (nobody was
             // silent); rank those instead of recomputing each one.
-            let mut ranked = pathless;
-            self.sort(&mut ranked, requester, policy);
-            return RankOutcome { ranked, excluded: Vec::new() };
+            out.ranked.extend_from_slice(&pathless);
+            out.excluded.clear();
+            self.sort(&mut out.ranked, requester, policy);
+            self.pathless = pathless;
+            return;
         }
 
-        self.sort(&mut ranked, requester, policy);
-        excluded.sort_unstable_by_key(|(h, _)| *h);
-        RankOutcome { ranked, excluded }
+        self.sort(&mut out.ranked, requester, policy);
+        out.excluded.sort_unstable_by_key(|(h, _)| *h);
+        self.pathless = pathless;
     }
 
     /// Estimate one candidate. The path is computed **once** via the

@@ -6,38 +6,51 @@ use crate::config::CoreConfig;
 use crate::rank::{Policy, RankOutcome, RankedServer, Ranker, StaticDistances};
 use int_obs::{CandidateEstimate, DecisionAudit, DecisionRecord};
 use int_packet::msgs::{Candidate, RankingKind};
+use std::sync::Arc;
 
 /// The complete scheduler state: collector + ranking engine.
 pub struct SchedulerCore {
     collector: IntCollector,
     ranker: Ranker,
-    cfg: CoreConfig,
+    /// Shared with the ranker and both estimators — one allocation for
+    /// the whole control plane (and for every shard of the sharded one).
+    cfg: Arc<CoreConfig>,
     /// Policy used for INT-based queries (the baselines are selected
     /// explicitly via [`SchedulerCore::rank_with`]).
     default_policy: Policy,
     /// Decision audit trail (disabled by default: one branch per query).
     audit: DecisionAudit,
+    /// Query-path scratch: candidate list, silent-origin list, and the
+    /// outcome buffer behind the by-value entry points.
+    cand_scratch: Vec<u32>,
+    silent_scratch: Vec<u32>,
+    outcome_scratch: RankOutcome,
 }
 
 impl SchedulerCore {
     /// Scheduler on `scheduler_host` with the given configuration.
     /// `distances` feeds the Nearest baseline; `seed` the Random baseline.
+    /// `cfg` and `distances` accept owned values or pre-shared `Arc`s.
     pub fn new(
         scheduler_host: u32,
-        cfg: CoreConfig,
-        distances: StaticDistances,
+        cfg: impl Into<Arc<CoreConfig>>,
+        distances: impl Into<Arc<StaticDistances>>,
         seed: u64,
     ) -> Self {
+        let cfg = cfg.into();
         let mut collector = IntCollector::new(scheduler_host);
         // Thread the map-side tunables into the learned map.
         collector.map_mut().set_delay_ewma(cfg.delay_ewma_new_eighths);
         collector.map_mut().set_qlen_retention(cfg.qlen_window_ns);
         SchedulerCore {
             collector,
-            ranker: Ranker::new(cfg.clone(), distances, seed),
+            ranker: Ranker::new(Arc::clone(&cfg), distances, seed),
             cfg,
             default_policy: Policy::IntDelay,
             audit: DecisionAudit::default(),
+            cand_scratch: Vec::new(),
+            silent_scratch: Vec::new(),
+            outcome_scratch: RankOutcome::default(),
         }
     }
 
@@ -55,6 +68,17 @@ impl SchedulerCore {
     /// The configuration this scheduler runs with.
     pub fn config(&self) -> &CoreConfig {
         &self.cfg
+    }
+
+    /// The shared configuration handle (one allocation across scheduler,
+    /// ranker, estimators, and shards).
+    pub fn config_arc(&self) -> Arc<CoreConfig> {
+        Arc::clone(&self.cfg)
+    }
+
+    /// The shared static-distance table handle (Nearest baseline).
+    pub fn distances_arc(&self) -> Arc<StaticDistances> {
+        self.ranker.distances_arc()
     }
 
     /// Enable or force-disable the ranker's path cache (determinism A/B
@@ -134,7 +158,26 @@ impl SchedulerCore {
 
     /// Rank under an explicit policy (INT-based or baseline).
     pub fn rank_with(&mut self, requester: u32, policy: Policy, now_ns: u64) -> Vec<RankedServer> {
-        self.rank_detailed_with(requester, policy, now_ns).ranked
+        let mut out = Vec::new();
+        self.rank_with_into(requester, policy, now_ns, &mut out);
+        out
+    }
+
+    /// [`SchedulerCore::rank_with`] into a caller-owned buffer: steady
+    /// state performs zero heap allocations (all intermediate buffers are
+    /// scheduler-owned scratch).
+    pub fn rank_with_into(
+        &mut self,
+        requester: u32,
+        policy: Policy,
+        now_ns: u64,
+        out: &mut Vec<RankedServer>,
+    ) {
+        let mut scratch = std::mem::take(&mut self.outcome_scratch);
+        self.rank_detailed_into_with(requester, policy, now_ns, &mut scratch);
+        out.clear();
+        out.extend_from_slice(&scratch.ranked);
+        self.outcome_scratch = scratch;
     }
 
     /// Rank under an explicit policy, reporting exclusions.
@@ -149,24 +192,44 @@ impl SchedulerCore {
         policy: Policy,
         now_ns: u64,
     ) -> RankOutcome {
+        let mut out = RankOutcome::default();
+        self.rank_detailed_into_with(requester, policy, now_ns, &mut out);
+        out
+    }
+
+    /// [`SchedulerCore::rank_detailed_with`] into a caller-owned outcome
+    /// (the zero-alloc query path).
+    pub fn rank_detailed_into_with(
+        &mut self,
+        requester: u32,
+        policy: Policy,
+        now_ns: u64,
+        out: &mut RankOutcome,
+    ) {
         self.collector.map_mut().evict_stale(now_ns, self.cfg.eviction_horizon_ns);
-        let silent = self.collector.silent_origins(now_ns, self.cfg.origin_silence_ns);
-        let candidates = self.candidates_for(requester);
-        let outcome = self.ranker.rank_detailed(
+        self.collector.silent_origins_into(
+            now_ns,
+            self.cfg.origin_silence_ns,
+            &mut self.silent_scratch,
+        );
+        self.cand_scratch.clear();
+        self.cand_scratch.extend(self.collector.map().hosts().filter(|&h| h != requester));
+        self.ranker.rank_detailed_into(
             self.collector.map(),
             requester,
-            &candidates,
+            &self.cand_scratch,
             policy,
             now_ns,
-            &silent,
+            &self.silent_scratch,
+            out,
         );
         if self.audit.enabled() {
             self.audit.record(DecisionRecord {
                 at_ns: now_ns,
                 requester,
                 policy: policy.name(),
-                chosen: outcome.ranked.first().map(|r| r.host),
-                ranked: outcome
+                chosen: out.ranked.first().map(|r| r.host),
+                ranked: out
                     .ranked
                     .iter()
                     .map(|r| CandidateEstimate {
@@ -175,10 +238,9 @@ impl SchedulerCore {
                         est_bandwidth_bps: r.est_bandwidth_bps,
                     })
                     .collect(),
-                excluded: outcome.excluded.iter().map(|(h, r)| (*h, r.as_str())).collect(),
+                excluded: out.excluded.iter().map(|(h, r)| (*h, r.as_str())).collect(),
             });
         }
-        outcome
     }
 
     /// The paper's second serving option (§III-B): an *unsorted* list of
@@ -187,9 +249,22 @@ impl SchedulerCore {
     /// ascending host-id order, carrying the same estimates `rank_with`
     /// would sort by.
     pub fn candidates_with_estimates(&mut self, requester: u32, now_ns: u64) -> Vec<RankedServer> {
-        let mut all = self.rank_with(requester, Policy::IntDelay, now_ns);
-        all.sort_by_key(|s| s.host);
+        let mut all = Vec::new();
+        self.candidates_with_estimates_into(requester, now_ns, &mut all);
         all
+    }
+
+    /// [`SchedulerCore::candidates_with_estimates`] into a caller-owned
+    /// buffer (zero-alloc steady state). Host ids are unique, so the
+    /// in-place unstable sort orders exactly as a stable sort would.
+    pub fn candidates_with_estimates_into(
+        &mut self,
+        requester: u32,
+        now_ns: u64,
+        out: &mut Vec<RankedServer>,
+    ) {
+        self.rank_with_into(requester, Policy::IntDelay, now_ns, out);
+        out.sort_unstable_by_key(|s| s.host);
     }
 
     /// The policy used when no explicit policy is requested.

@@ -1,0 +1,532 @@
+//! Sharded, snapshot-based rank serving.
+//!
+//! [`ShardedScheduler`] splits the scheduler control plane in two:
+//!
+//! * an **ingest half** — the wrapped [`SchedulerCore`], which keeps
+//!   mutating the live map exactly as before (probe harvest, host
+//!   registration, eviction), plus a publisher that freezes the map
+//!   into an immutable [`SchedSnapshot`] whenever a generation moved;
+//! * a **read half** — N worker shards, each owning a private
+//!   [`SnapshotScratch`], serving `rank_detailed` queries against the
+//!   current snapshot through an [`EpochSlot`]. Readers never take a
+//!   lock the publisher holds while it builds (the build happens
+//!   entirely outside the slot; publication is a store), and the
+//!   publisher never waits for readers (shards clone the `Arc` out of
+//!   the slot and drop it when done).
+//!
+//! **Determinism.** Queries are admitted in batches. Every query in a
+//! batch is evaluated against the *same* snapshot (the one current when
+//! `serve_batch` is entered) and carries a pre-assigned global slot
+//! number: its absolute position in the scheduler's query stream. The
+//! batch is split into contiguous chunks of `ceil(len / workers)` — the
+//! same discipline as `experiments::par` — so slot numbers, and
+//! therefore results, are independent of the worker count: worker
+//! boundaries move, slot assignments don't. Because snapshot evaluation
+//! is a pure function of `(snapshot, query, slot)`, the outcome vector
+//! is byte-identical for 1, 2, or 8 shards, and equal to the
+//! single-threaded oracle evaluated at the same map state.
+
+use crate::config::CoreConfig;
+use crate::pathidx::PathEngine;
+use crate::rank::{Policy, RankOutcome, RankedServer, StaticDistances};
+use crate::sched::SchedulerCore;
+use crate::snapshot::{SchedSnapshot, SnapshotScratch};
+use int_obs::{Labels, MetricsRegistry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One admitted rank query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankQuery {
+    /// The requesting edge device's host id.
+    pub requester: u32,
+    /// Ranking policy to apply.
+    pub policy: Policy,
+    /// Query time on the collector clock, ns.
+    pub now_ns: u64,
+}
+
+/// The publication point between the ingest half and the read shards.
+///
+/// The publisher stores a new snapshot `Arc` and then advances the
+/// epoch counter with `Release`; readers check the counter with
+/// `Acquire` and only touch the slot's mutex when the epoch moved, so
+/// the steady-state read path is one atomic load plus an `Arc` the
+/// shard already holds. The mutex is held only for the duration of an
+/// `Arc` clone or store — never while building a snapshot or serving a
+/// query — so neither side can block the other for meaningful time.
+#[derive(Debug, Default)]
+pub struct EpochSlot {
+    /// Epoch of the snapshot currently in `slot` (0 = none published).
+    epoch: AtomicU64,
+    slot: Mutex<Option<Arc<SchedSnapshot>>>,
+}
+
+impl EpochSlot {
+    /// An empty slot (no snapshot published yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish `snap` as the current snapshot.
+    pub fn publish(&self, snap: Arc<SchedSnapshot>) {
+        let epoch = snap.epoch();
+        *self.slot.lock().expect("epoch slot poisoned") = Some(snap);
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Epoch of the currently published snapshot (0 if none). This is a
+    /// fast-path hint: a reader holding a snapshot of this epoch knows
+    /// it is (momentarily) current without touching the slot.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current snapshot, refreshing `cached` only if the epoch moved
+    /// past it. Returns `false` while nothing has been published.
+    pub fn refresh(&self, cached: &mut Option<Arc<SchedSnapshot>>) -> bool {
+        let current = self.epoch.load(Ordering::Acquire);
+        if current == 0 {
+            return false;
+        }
+        match cached {
+            Some(s) if s.epoch() >= current => true,
+            _ => {
+                *cached = self.slot.lock().expect("epoch slot poisoned").clone();
+                cached.is_some()
+            }
+        }
+    }
+
+    /// The current snapshot, if any (allocating convenience wrapper).
+    pub fn current(&self) -> Option<Arc<SchedSnapshot>> {
+        let mut c = None;
+        self.refresh(&mut c);
+        c
+    }
+}
+
+/// One worker shard: a cached snapshot `Arc` plus private scratch.
+#[derive(Debug, Default)]
+struct RankShard {
+    scratch: SnapshotScratch,
+    cached: Option<Arc<SchedSnapshot>>,
+    served: u64,
+}
+
+/// The sharded scheduler control plane: ingest + publish + N read shards.
+pub struct ShardedScheduler {
+    core: SchedulerCore,
+    /// CSR build machinery reused across publishes (generation-checked).
+    builder: PathEngine,
+    slot: Arc<EpochSlot>,
+    shards: Vec<Mutex<RankShard>>,
+    seed: u64,
+    epoch: u64,
+    /// `(topology_generation, metrics_generation, probes_accepted)` of the
+    /// last published snapshot — publishing is keyed on this triple.
+    published_key: Option<(u64, u64, u64)>,
+    /// Global query counter: the next query's slot number.
+    queries_total: u64,
+    metrics: MetricsRegistry,
+}
+
+impl ShardedScheduler {
+    /// A sharded scheduler on `scheduler_host` with `shards` read workers.
+    /// `shards` is clamped to ≥1; pass [`default_shard_count`] to honour
+    /// the `INT_SCHED_SHARDS` override.
+    pub fn new(
+        scheduler_host: u32,
+        cfg: impl Into<Arc<CoreConfig>>,
+        distances: impl Into<Arc<StaticDistances>>,
+        seed: u64,
+        shards: usize,
+    ) -> Self {
+        let core = SchedulerCore::new(scheduler_host, cfg, distances, seed);
+        let n = shards.max(1);
+        ShardedScheduler {
+            core,
+            builder: PathEngine::new(),
+            slot: Arc::new(EpochSlot::new()),
+            shards: (0..n).map(|_| Mutex::new(RankShard::default())).collect(),
+            seed,
+            epoch: 0,
+            published_key: None,
+            queries_total: 0,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// The wrapped ingest half (probe ingest, host registration, audit).
+    pub fn core(&self) -> &SchedulerCore {
+        &self.core
+    }
+
+    /// Mutable access to the ingest half. Mutations become visible to
+    /// the read shards at the next [`ShardedScheduler::advance`].
+    pub fn core_mut(&mut self) -> &mut SchedulerCore {
+        &mut self.core
+    }
+
+    /// Number of read shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Epoch of the most recently published snapshot (0 = none yet).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total queries admitted so far (the next query's slot number).
+    pub fn queries_total(&self) -> u64 {
+        self.queries_total
+    }
+
+    /// The publication point, for external readers (e.g. a churn test's
+    /// concurrent query threads) that want to follow epochs themselves.
+    pub fn epoch_slot(&self) -> Arc<EpochSlot> {
+        Arc::clone(&self.slot)
+    }
+
+    /// Snapshot-publish counters and per-shard serving histograms.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (enable/disable, export merging).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Run eviction at `now_ns` and publish a fresh snapshot if anything
+    /// about the map changed since the last publish. Returns `true` if a
+    /// new epoch was published.
+    ///
+    /// The publish key is the `(topology_generation, metrics_generation,
+    /// probes_accepted)` triple: topology or metrics movement obviously
+    /// invalidates the frozen state, and `probes_accepted` catches
+    /// ingest that only touched per-origin accounting (a probe with no
+    /// records still refreshes `last_rx_ns`, which feeds the silence
+    /// exclusion).
+    pub fn advance(&mut self, now_ns: u64) -> bool {
+        let horizon = self.core.config().eviction_horizon_ns;
+        self.core.collector_mut().map_mut().evict_stale(now_ns, horizon);
+        let c = self.core.collector();
+        let key = (
+            c.map().topology_generation(),
+            c.map().metrics_generation(),
+            c.probes_accepted(),
+        );
+        if self.published_key == Some(key) {
+            return false;
+        }
+        self.epoch += 1;
+        let snap = Arc::new(SchedSnapshot::build(
+            self.core.collector(),
+            &mut self.builder,
+            &self.core.config_arc(),
+            &self.core.distances_arc(),
+            self.seed,
+            self.epoch,
+            now_ns,
+        ));
+        self.slot.publish(snap);
+        self.published_key = Some(key);
+        self.metrics.counter_inc("sched_snapshot_publishes", Labels::none());
+        self.metrics.gauge_set("sched_epoch", Labels::none(), self.epoch as i64, now_ns);
+        true
+    }
+
+    /// Serve a batch of queries against the current snapshot, one
+    /// outcome per query (same order). With no snapshot published yet
+    /// every outcome is empty — call [`ShardedScheduler::advance`]
+    /// first.
+    ///
+    /// The batch is split into contiguous chunks of `ceil(len / n)` and
+    /// each chunk is served by one shard on its own thread (serially
+    /// when one shard suffices). Query *i* carries global slot
+    /// `queries_total + i` regardless of which shard serves it, so the
+    /// outcome vector is identical for any shard count.
+    pub fn serve_batch(&mut self, queries: &[RankQuery], out: &mut Vec<RankOutcome>) {
+        out.resize(queries.len(), RankOutcome::default());
+        if queries.is_empty() {
+            return;
+        }
+        let tag_base = self.queries_total;
+        self.queries_total += queries.len() as u64;
+        let n = self.shards.len().min(queries.len());
+        let chunk = queries.len().div_ceil(n);
+
+        if n <= 1 {
+            serve_chunk(&self.slot, &self.shards[0], queries, out, tag_base);
+        } else {
+            std::thread::scope(|scope| {
+                let slot = &self.slot;
+                let shards = &self.shards;
+                for (i, (qs, os)) in
+                    queries.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+                {
+                    let base = tag_base + (i * chunk) as u64;
+                    scope.spawn(move || serve_chunk(slot, &shards[i], qs, os, base));
+                }
+            });
+        }
+
+        if self.metrics.enabled() {
+            for (i, shard) in self.shards.iter().enumerate() {
+                let served = shard.lock().expect("shard poisoned").served;
+                self.metrics.gauge_set(
+                    "shard_queries_served",
+                    Labels::one("shard", i as u64),
+                    served as i64,
+                    tag_base,
+                );
+            }
+            self.metrics.histogram_record(
+                "sched_batch_size",
+                Labels::none(),
+                queries.len() as u64,
+            );
+        }
+    }
+
+    /// Serve one query (slot-assigned, counted). Convenience wrapper over
+    /// a one-element batch, without the thread machinery.
+    pub fn serve_one(&mut self, query: RankQuery) -> RankOutcome {
+        let tag = self.queries_total;
+        self.queries_total += 1;
+        let mut out = RankOutcome::default();
+        let mut shard = self.shards[0].lock().expect("shard poisoned");
+        let RankShard { scratch, cached, served } = &mut *shard;
+        if self.slot.refresh(cached) {
+            let snap = cached.as_ref().expect("refresh returned true");
+            snap.rank_detailed_into(
+                scratch,
+                query.requester,
+                query.policy,
+                query.now_ns,
+                tag,
+                &mut out,
+            );
+            *served += 1;
+        }
+        out
+    }
+
+    /// First-ranked host for `requester` under the core's default policy
+    /// — the sharded analogue of `SchedulerCore::handle_request`.
+    pub fn handle_request(&mut self, requester: u32, now_ns: u64) -> Option<RankedServer> {
+        let policy = self.core.default_policy();
+        let out = self.serve_one(RankQuery { requester, policy, now_ns });
+        out.ranked.first().copied()
+    }
+}
+
+/// Serve a contiguous chunk on one shard. `tag_base` is the global slot
+/// number of `queries[0]`.
+fn serve_chunk(
+    slot: &EpochSlot,
+    shard: &Mutex<RankShard>,
+    queries: &[RankQuery],
+    out: &mut [RankOutcome],
+    tag_base: u64,
+) {
+    let mut shard = shard.lock().expect("shard poisoned");
+    let RankShard { scratch, cached, served } = &mut *shard;
+    if !slot.refresh(cached) {
+        return; // nothing published yet; outcomes stay empty
+    }
+    let snap = cached.as_ref().expect("refresh returned true");
+    for (j, (q, o)) in queries.iter().zip(out.iter_mut()).enumerate() {
+        snap.rank_detailed_into(scratch, q.requester, q.policy, q.now_ns, tag_base + j as u64, o);
+    }
+    *served += queries.len() as u64;
+}
+
+/// Number of read shards to use: the `INT_SCHED_SHARDS` environment
+/// variable if set (clamped to ≥1), else the machine's available
+/// parallelism.
+pub fn default_shard_count() -> usize {
+    if let Ok(v) = std::env::var("INT_SCHED_SHARDS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use int_packet::int::IntRecord;
+    use int_packet::ProbePayload;
+
+    fn rec(switch_id: u32, maxq: u32, ts_ms: u64) -> IntRecord {
+        IntRecord {
+            switch_id,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: maxq,
+            qlen_at_probe_pkts: maxq / 2,
+            link_latency_ns: 10_000_000,
+            egress_ts_ns: ts_ms * 1_000_000,
+        }
+    }
+
+    fn probe(origin: u32, seq: u64, chain: &[(u32, u32)]) -> ProbePayload {
+        let mut p = ProbePayload::new(origin, seq, 0);
+        for (i, &(sw, q)) in chain.iter().enumerate() {
+            p.int.push(rec(sw, q, (i as u64 + 1) * 11));
+        }
+        p
+    }
+
+    fn sharded(n: usize) -> ShardedScheduler {
+        let mut s = ShardedScheduler::new(
+            6,
+            CoreConfig::default(),
+            StaticDistances::new(),
+            42,
+            n,
+        );
+        s.core_mut().collector_mut().ingest(&probe(1, 1, &[(10, 20), (11, 0)]), 32_000_000);
+        s.core_mut().collector_mut().ingest(&probe(2, 1, &[(12, 0), (11, 0)]), 32_000_000);
+        s
+    }
+
+    fn queries(count: usize, now: u64) -> Vec<RankQuery> {
+        (0..count)
+            .map(|i| RankQuery {
+                requester: 6,
+                policy: match i % 3 {
+                    0 => Policy::IntDelay,
+                    1 => Policy::IntBandwidth,
+                    _ => Policy::Nearest,
+                },
+                now_ns: now + (i as u64) * 1_000,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn advance_publishes_only_on_change() {
+        let mut s = sharded(2);
+        assert!(s.advance(32_000_000), "first advance publishes");
+        assert_eq!(s.epoch(), 1);
+        assert!(!s.advance(33_000_000), "no ingest, no new epoch");
+        s.core_mut().collector_mut().ingest(&probe(1, 2, &[(10, 5), (11, 0)]), 34_000_000);
+        assert!(s.advance(34_000_000), "new probe forces a publish");
+        assert_eq!(s.epoch(), 2);
+    }
+
+    #[test]
+    fn empty_record_probe_still_publishes() {
+        // A probe with no INT records moves neither generation, but it
+        // refreshes the origin's last_rx_ns — silence exclusion depends
+        // on it, so it must reach the snapshot.
+        let mut s = sharded(1);
+        s.advance(32_000_000);
+        let before = s.epoch();
+        s.core_mut().collector_mut().ingest(&ProbePayload::new(1, 9, 0), 35_000_000);
+        assert!(s.advance(35_000_000));
+        assert_eq!(s.epoch(), before + 1);
+    }
+
+    #[test]
+    fn batch_results_match_oracle_and_are_shard_count_invariant() {
+        let now = 32_000_000;
+        let qs = queries(64, now);
+
+        // Oracle: the plain single-threaded core at the same map state.
+        let mut oracle = sharded(1);
+        let want: Vec<RankOutcome> = qs
+            .iter()
+            .map(|q| oracle.core_mut().rank_detailed_with(q.requester, q.policy, q.now_ns))
+            .collect();
+
+        let mut baseline: Option<Vec<RankOutcome>> = None;
+        for n in [1usize, 2, 3, 8] {
+            let mut s = sharded(n);
+            s.advance(now);
+            let mut got = Vec::new();
+            s.serve_batch(&qs, &mut got);
+            assert_eq!(got, want, "shards={n} vs oracle");
+            match &baseline {
+                None => baseline = Some(got),
+                Some(b) => assert_eq!(&got, b, "shards={n} vs shards=1"),
+            }
+        }
+    }
+
+    #[test]
+    fn slot_numbers_survive_multiple_batches() {
+        let mut s = sharded(2);
+        s.advance(32_000_000);
+        let qs = queries(10, 32_000_000);
+        let mut out = Vec::new();
+        s.serve_batch(&qs, &mut out);
+        assert_eq!(s.queries_total(), 10);
+        s.serve_batch(&qs[..3], &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(s.queries_total(), 13);
+    }
+
+    #[test]
+    fn serve_before_publish_yields_empty_outcomes() {
+        let mut s = sharded(2);
+        let qs = queries(4, 32_000_000);
+        let mut out = Vec::new();
+        s.serve_batch(&qs, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|o| o.ranked.is_empty() && o.excluded.is_empty()));
+        assert!(s.handle_request(6, 32_000_000).is_none());
+    }
+
+    #[test]
+    fn handle_request_matches_core_after_publish() {
+        let mut s = sharded(2);
+        s.advance(32_000_000);
+        let got = s.handle_request(6, 32_000_000).expect("publish happened");
+        let want = s.core_mut().rank_with(6, Policy::IntDelay, 32_000_000)[0];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn publish_metrics_exported() {
+        let mut s = sharded(2);
+        s.metrics_mut().set_enabled(true);
+        s.advance(32_000_000);
+        s.core_mut().collector_mut().ingest(&probe(1, 2, &[(10, 1), (11, 0)]), 33_000_000);
+        s.advance(33_000_000);
+        assert_eq!(s.metrics().counter("sched_snapshot_publishes", Labels::none()), 2);
+        assert_eq!(s.metrics().gauge("sched_epoch", Labels::none()), Some(2));
+        let mut out = Vec::new();
+        s.serve_batch(&queries(8, 33_000_000), &mut out);
+        assert_eq!(
+            s.metrics().gauge("shard_queries_served", Labels::one("shard", 0)),
+            Some(4)
+        );
+        assert_eq!(
+            s.metrics().gauge("shard_queries_served", Labels::one("shard", 1)),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn epoch_slot_refresh_is_idempotent_and_epoch_keyed() {
+        let s = {
+            let mut s = sharded(1);
+            s.advance(32_000_000);
+            s
+        };
+        let slot = s.epoch_slot();
+        assert_eq!(slot.current_epoch(), 1);
+        let mut cached = None;
+        assert!(slot.refresh(&mut cached));
+        let first = Arc::clone(cached.as_ref().unwrap());
+        assert!(slot.refresh(&mut cached), "second refresh is a no-op");
+        assert!(Arc::ptr_eq(&first, cached.as_ref().unwrap()));
+    }
+}

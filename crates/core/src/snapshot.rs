@@ -1,0 +1,730 @@
+//! Immutable epoch snapshots of the scheduler control plane.
+//!
+//! The sharded scheduler (see [`crate::shard`]) splits `core::sched` into
+//! an **ingest half** that keeps mutating the live [`NetworkMap`] and a
+//! **read half** that serves `rank`/`rank_detailed` queries. The bridge
+//! is [`SchedSnapshot`]: a frozen, `Send + Sync` copy of everything a
+//! query needs, built from the [`PathEngine`](crate::pathidx::PathEngine)
+//! CSR machinery whenever the map's topology or metrics generation moves.
+//!
+//! A snapshot carries:
+//!
+//! * the CSR adjacency and ≥1-clamped traversal weights (byte-identical
+//!   to what the live engine would compute for the same generations);
+//! * per-arc *estimate* inputs: the unclamped effective link delay and
+//!   the resolved queue-occupancy evidence (which directed edge answers
+//!   for this arc under the direction-fallback policy, its harvest
+//!   timestamps and windowed history) — resolved once at publish so
+//!   query-time evaluation never touches the map;
+//! * freshness/silence metadata: every known host (the candidate set)
+//!   and every probe origin's last-receive time, so origin-silence
+//!   exclusion is a pure function of the query's `now`.
+//!
+//! Queries evaluate against a per-shard [`SnapshotScratch`] (the PR-5
+//! dist/prev/heap Dijkstra buffers plus a per-epoch path cache), so N
+//! shards serve concurrently with zero shared mutable state. The
+//! evaluation mirrors [`Ranker`](crate::rank::Ranker) decision-for-
+//! decision; `tests/shard_determinism.rs` pins byte-equality against the
+//! single-threaded oracle across churn, eviction, and faults.
+//!
+//! The only sanctioned divergence is [`Policy::Random`]: the sequential
+//! ranker draws from one long-lived RNG stream, which cannot be
+//! reproduced when queries are served concurrently. Snapshot evaluation
+//! derives an RNG per query from `(seed, epoch, slot)` instead —
+//! deterministic for any worker count, but a *different* (equally
+//! uniform) shuffle than the sequential stream.
+
+use crate::collector::IntCollector;
+use crate::config::{CoreConfig, DirectionFallback, HopSignal};
+use crate::map::{NetNode, NetworkMap};
+use crate::pathidx::PathEngine;
+use crate::rank::{ExcludeReason, Policy, RankOutcome, RankedServer, StaticDistances};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
+
+/// Sentinel for "no predecessor" in the SSSP scratch.
+const NO_PREV: u32 = u32::MAX;
+
+/// Queue-occupancy evidence for one CSR arc, resolved at publish time.
+///
+/// Mirrors [`NetworkMap::effective_qlen`]: the forward directed edge
+/// answers if it exists (even if its harvest is stale — staleness reads
+/// as an empty queue, it does not fall through to the reverse edge);
+/// otherwise, under [`DirectionFallback::ReverseOk`], the reverse edge
+/// answers; otherwise the queue reads as empty.
+#[derive(Debug, Clone, Copy)]
+struct ArcQlen {
+    /// Does any directed edge answer for this arc?
+    present: bool,
+    /// When the answering edge's queue measurement was taken, ns.
+    updated_ns: u64,
+    /// Instantaneous occupancy at the probe (the ablation signal).
+    at_probe_pkts: u32,
+    /// Offset/length of this arc's harvest history in `qlen_hist`.
+    hist_start: u32,
+    hist_len: u32,
+}
+
+const NO_QLEN: ArcQlen =
+    ArcQlen { present: false, updated_ns: 0, at_probe_pkts: 0, hist_start: 0, hist_len: 0 };
+
+/// One frozen epoch of the scheduler control plane. Immutable and
+/// `Send + Sync`: any number of shards may evaluate queries against it
+/// concurrently, each with its own [`SnapshotScratch`].
+#[derive(Debug)]
+pub struct SchedSnapshot {
+    epoch: u64,
+    published_at_ns: u64,
+    cfg: Arc<CoreConfig>,
+    distances: Arc<StaticDistances>,
+    /// Base seed for the per-query Random-policy RNG derivation.
+    seed: u64,
+    /// All nodes in ascending `NetNode` order; index = dense id.
+    nodes: Vec<NetNode>,
+    /// CSR row offsets (`nodes.len() + 1` entries).
+    row: Vec<u32>,
+    /// CSR columns (neighbour dense ids, sorted per row).
+    cols: Vec<u32>,
+    /// ≥1-clamped traversal weight per arc (parallel to `cols`).
+    weights: Vec<u64>,
+    /// Unclamped effective link delay per arc — the estimate's per-link
+    /// term (`effective_delay_ns` with the unmeasured fallback applied,
+    /// *without* the traversal `.max(1)` clamp).
+    est_delay: Vec<u64>,
+    /// Queue evidence per arc (parallel to `cols`).
+    arc_q: Vec<ArcQlen>,
+    /// Flat storage for all arcs' harvest histories.
+    qlen_hist: Vec<(u64, u32)>,
+    /// Every known host, ascending — the candidate universe.
+    hosts: Vec<u32>,
+    /// `(origin, last_rx_ns)` per probe origin with ≥1 probe, ascending.
+    origins: Vec<(u32, u64)>,
+}
+
+impl SchedSnapshot {
+    /// Freeze the current state of `collector`'s map into an immutable
+    /// epoch. `engine` provides (and retains) the CSR build machinery —
+    /// pass the same engine across publishes so unchanged topology costs
+    /// a generation check, not a rebuild.
+    pub fn build(
+        collector: &IntCollector,
+        engine: &mut PathEngine,
+        cfg: &Arc<CoreConfig>,
+        distances: &Arc<StaticDistances>,
+        seed: u64,
+        epoch: u64,
+        published_at_ns: u64,
+    ) -> Self {
+        let map = collector.map();
+        let (nodes, row, cols, weights) = engine.csr_view(map, cfg);
+        let nodes = nodes.to_vec();
+        let row = row.to_vec();
+        let cols = cols.to_vec();
+        let weights = weights.to_vec();
+
+        // Per-arc estimate inputs, resolved in CSR order.
+        let mut est_delay = Vec::with_capacity(cols.len());
+        let mut arc_q = Vec::with_capacity(cols.len());
+        let mut qlen_hist = Vec::new();
+        for u in 0..nodes.len() {
+            let from = nodes[u];
+            for i in row[u] as usize..row[u + 1] as usize {
+                let to = nodes[cols[i] as usize];
+                est_delay.push(
+                    map.effective_delay_ns(cfg, from, to).unwrap_or(cfg.unmeasured_delay_ns),
+                );
+                arc_q.push(resolve_qlen(map, cfg, from, to, &mut qlen_hist));
+            }
+        }
+
+        SchedSnapshot {
+            epoch,
+            published_at_ns,
+            cfg: Arc::clone(cfg),
+            distances: Arc::clone(distances),
+            seed,
+            nodes,
+            row,
+            cols,
+            weights,
+            est_delay,
+            arc_q,
+            qlen_hist,
+            hosts: map.hosts().collect(),
+            origins: collector
+                .origin_stats_all()
+                .filter(|(_, st)| st.received > 0)
+                .map(|(o, st)| (o, st.last_rx_ns))
+                .collect(),
+        }
+    }
+
+    /// The epoch counter this snapshot was published as.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Collector-clock time this snapshot was published at, ns.
+    pub fn published_at_ns(&self) -> u64 {
+        self.published_at_ns
+    }
+
+    /// Nodes in the frozen graph (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Directed arcs in the frozen graph (diagnostics).
+    pub fn arc_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Candidate hosts known to this epoch, ascending.
+    pub fn hosts(&self) -> &[u32] {
+        &self.hosts
+    }
+
+    /// Rank for `requester` under `policy`, evaluated purely against this
+    /// snapshot. `slot` is the query's pre-assigned batch slot (it seeds
+    /// the Random-policy shuffle, so results are independent of which
+    /// shard serves the slot). Decision-for-decision identical to
+    /// [`crate::sched::SchedulerCore::rank_detailed_with`] evaluated at
+    /// the same map state and `now_ns` (except `Policy::Random`, see the
+    /// module docs).
+    pub fn rank_detailed(
+        &self,
+        scratch: &mut SnapshotScratch,
+        requester: u32,
+        policy: Policy,
+        now_ns: u64,
+        slot: u64,
+    ) -> RankOutcome {
+        let mut out = RankOutcome::default();
+        self.rank_detailed_into(scratch, requester, policy, now_ns, slot, &mut out);
+        out
+    }
+
+    /// [`SchedSnapshot::rank_detailed`] into a caller-owned outcome (the
+    /// zero-alloc steady-state path).
+    pub fn rank_detailed_into(
+        &self,
+        scratch: &mut SnapshotScratch,
+        requester: u32,
+        policy: Policy,
+        now_ns: u64,
+        slot: u64,
+        out: &mut RankOutcome,
+    ) {
+        scratch.bind(self);
+        scratch.stats.queries += 1;
+        out.ranked.clear();
+        out.excluded.clear();
+
+        // Candidate set: every known host except the requester — the same
+        // rule as `SchedulerCore::candidates_for`.
+        let mut candidates = std::mem::take(&mut scratch.candidates);
+        candidates.clear();
+        candidates.extend(self.hosts.iter().copied().filter(|&h| h != requester));
+
+        if matches!(policy, Policy::Nearest | Policy::Random) {
+            out.ranked.reserve(candidates.len());
+            for &host in &candidates {
+                let est = self.estimate(scratch, requester, host, now_ns);
+                out.ranked.push(est);
+            }
+            self.sort(&mut out.ranked, requester, policy, slot);
+            scratch.candidates = candidates;
+            return;
+        }
+
+        let mut pathless = std::mem::take(&mut scratch.pathless);
+        pathless.clear();
+        out.ranked.reserve(candidates.len());
+        for &host in &candidates {
+            if self.is_silent(host, now_ns) {
+                out.excluded.push((host, ExcludeReason::OriginSilent));
+                continue;
+            }
+            let est = self.estimate(scratch, requester, host, now_ns);
+            if est.est_delay_ns == u64::MAX {
+                out.excluded.push((host, ExcludeReason::NoFreshPath));
+                pathless.push(est);
+            } else {
+                out.ranked.push(est);
+            }
+        }
+
+        if out.ranked.is_empty()
+            && out.excluded.iter().all(|(_, r)| *r == ExcludeReason::NoFreshPath)
+        {
+            // Warm-up, not failure: rank the pathless estimates instead.
+            out.ranked.extend_from_slice(&pathless);
+            out.excluded.clear();
+            self.sort(&mut out.ranked, requester, policy, slot);
+        } else {
+            self.sort(&mut out.ranked, requester, policy, slot);
+            out.excluded.sort_unstable_by_key(|(h, _)| *h);
+        }
+        scratch.pathless = pathless;
+        scratch.candidates = candidates;
+    }
+
+    /// Is `host` a probe origin that has gone silent beyond the horizon?
+    /// Pure function of the snapshot's origin table and the query `now`
+    /// — exactly `IntCollector::silent_origins` membership.
+    fn is_silent(&self, host: u32, now_ns: u64) -> bool {
+        match self.origins.binary_search_by_key(&host, |&(o, _)| o) {
+            Ok(i) => {
+                now_ns.saturating_sub(self.origins[i].1) > self.cfg.origin_silence_ns
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Estimate one candidate: resolve the path once (shared SSSP + path
+    /// cache in the scratch) and price it with the frozen per-arc delay
+    /// and queue evidence — the same numbers the live estimators produce
+    /// against the map state this snapshot froze.
+    fn estimate(
+        &self,
+        scratch: &mut SnapshotScratch,
+        requester: u32,
+        host: u32,
+        now_ns: u64,
+    ) -> RankedServer {
+        let (Some(from), Some(to)) =
+            (self.node_id(NetNode::Host(requester)), self.node_id(NetNode::Host(host)))
+        else {
+            return RankedServer { host, est_delay_ns: u64::MAX, est_bandwidth_bps: 0 };
+        };
+        if from == to {
+            return RankedServer {
+                host,
+                est_delay_ns: 0,
+                est_bandwidth_bps: self.cfg.link_capacity_bps,
+            };
+        }
+        if !self.resolve_path(scratch, from, to) {
+            return RankedServer { host, est_delay_ns: u64::MAX, est_bandwidth_bps: 0 };
+        }
+
+        // Walk the resolved path (dense-id sequence in scratch.path_buf),
+        // mirroring DelayEstimator/BandwidthEstimator::estimate_along.
+        let mut link_delay_ns = 0u64;
+        let mut hop_delay_ns = 0u64;
+        let mut bottleneck = self.cfg.link_capacity_bps;
+        for w in scratch.path_buf.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            let ai = self.arc_index(u, v).expect("path arcs exist in the CSR");
+            link_delay_ns += self.est_delay[ai];
+            if matches!(self.nodes[u as usize], NetNode::Switch(_)) {
+                let q = self.arc_qlen(ai, now_ns);
+                hop_delay_ns += self.cfg.k_ns_per_pkt * q as u64;
+                bottleneck = bottleneck.min(self.cfg.available_bw_for_qlen(q));
+            }
+        }
+        RankedServer {
+            host,
+            est_delay_ns: link_delay_ns + hop_delay_ns,
+            est_bandwidth_bps: bottleneck,
+        }
+    }
+
+    /// Resolve the `from → to` path into `scratch.path_buf` (endpoints
+    /// included, dense ids). Returns false when disconnected. Uses the
+    /// scratch's per-epoch path cache and memoized shared SSSP, exactly
+    /// like the live `PathEngine`.
+    fn resolve_path(&self, scratch: &mut SnapshotScratch, from: u32, to: u32) -> bool {
+        if let Some(cached) = scratch.cache.get(&(from, to)) {
+            scratch.stats.cache_hits += 1;
+            match cached {
+                Some(p) => {
+                    scratch.path_buf.clear();
+                    scratch.path_buf.extend_from_slice(p);
+                    return true;
+                }
+                None => return false,
+            }
+        }
+        scratch.stats.cache_misses += 1;
+        self.ensure_sssp(scratch, from);
+        scratch.path_buf.clear();
+        let reachable = scratch.dist[to as usize] != u64::MAX && {
+            let mut cur = to;
+            scratch.path_buf.push(cur);
+            loop {
+                if cur == from {
+                    scratch.path_buf.reverse();
+                    break true;
+                }
+                cur = scratch.prev[cur as usize];
+                if cur == NO_PREV {
+                    break false;
+                }
+                scratch.path_buf.push(cur);
+            }
+        };
+        scratch
+            .cache
+            .insert((from, to), reachable.then(|| scratch.path_buf.clone()));
+        reachable
+    }
+
+    /// Run (or reuse) the shared single-source Dijkstra from `source` in
+    /// the scratch buffers. Identical algorithm, tie-breaks, and weights
+    /// to `PathEngine::ensure_sssp` — and therefore to `NetworkMap::path`.
+    fn ensure_sssp(&self, scratch: &mut SnapshotScratch, source: u32) {
+        if scratch.sssp_source == Some(source) {
+            return;
+        }
+        scratch.stats.sssp_runs += 1;
+        let n = self.nodes.len();
+        scratch.dist.clear();
+        scratch.dist.resize(n, u64::MAX);
+        scratch.prev.clear();
+        scratch.prev.resize(n, NO_PREV);
+        scratch.heap.clear();
+
+        scratch.dist[source as usize] = 0;
+        scratch.heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, u))) = scratch.heap.pop() {
+            if scratch.dist[u as usize] < d {
+                continue; // stale heap entry
+            }
+            for i in self.row[u as usize] as usize..self.row[u as usize + 1] as usize {
+                let v = self.cols[i];
+                let nd = d.saturating_add(self.weights[i]);
+                if nd < scratch.dist[v as usize] {
+                    scratch.dist[v as usize] = nd;
+                    scratch.prev[v as usize] = u;
+                    scratch.heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        scratch.sssp_source = Some(source);
+    }
+
+    /// Dense id of a node, if it is part of the snapshot.
+    fn node_id(&self, n: NetNode) -> Option<u32> {
+        self.nodes.binary_search(&n).ok().map(|i| i as u32)
+    }
+
+    /// Index of the `u → v` arc in the CSR (binary search within the row).
+    fn arc_index(&self, u: u32, v: u32) -> Option<usize> {
+        let start = self.row[u as usize] as usize;
+        let end = self.row[u as usize + 1] as usize;
+        self.cols[start..end].binary_search(&v).ok().map(|i| start + i)
+    }
+
+    /// Effective queue length of an arc at `now_ns` — the frozen-evidence
+    /// equivalent of [`NetworkMap::effective_qlen`].
+    fn arc_qlen(&self, ai: usize, now_ns: u64) -> u32 {
+        let a = self.arc_q[ai];
+        if !a.present {
+            return 0;
+        }
+        if now_ns.saturating_sub(a.updated_ns) > self.cfg.staleness_ns {
+            return 0; // stale measurements read as an empty queue
+        }
+        match self.cfg.hop_signal {
+            HopSignal::MaxQueue => {
+                let cutoff = now_ns.saturating_sub(self.cfg.qlen_window_ns);
+                let start = a.hist_start as usize;
+                self.qlen_hist[start..start + a.hist_len as usize]
+                    .iter()
+                    .filter(|(ts, _)| *ts >= cutoff)
+                    .map(|(_, q)| *q)
+                    .max()
+                    .unwrap_or(0)
+            }
+            HopSignal::InstantaneousQueue => a.at_probe_pkts,
+        }
+    }
+
+    /// Order `out` best-first — the same keys as `Ranker::sort`, with the
+    /// Random shuffle drawn from the per-query derived RNG.
+    fn sort(&self, out: &mut [RankedServer], requester: u32, policy: Policy, slot: u64) {
+        match policy {
+            Policy::IntDelay => {
+                out.sort_unstable_by_key(|s| (s.est_delay_ns, s.host));
+            }
+            Policy::IntBandwidth => {
+                out.sort_unstable_by_key(|s| {
+                    (Reverse(s.est_bandwidth_bps), s.est_delay_ns, s.host)
+                });
+            }
+            Policy::Nearest => {
+                out.sort_unstable_by_key(|s| {
+                    (self.distances.get(requester, s.host).unwrap_or(u32::MAX), s.host)
+                });
+            }
+            Policy::Random => {
+                let mut rng = SmallRng::seed_from_u64(mix(
+                    self.seed ^ mix(self.epoch) ^ mix(slot.wrapping_add(0x9E37_79B9)),
+                ));
+                out.shuffle(&mut rng);
+            }
+        }
+    }
+}
+
+/// SplitMix64's finalizer: a cheap, well-distributed u64 → u64 mix for
+/// deriving per-query RNG seeds from `(seed, epoch, slot)`.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Serving counters for one shard's scratch (diagnostics and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotServeStats {
+    /// Queries evaluated through this scratch.
+    pub queries: u64,
+    /// Shared-SSSP runs (once per distinct source per epoch).
+    pub sssp_runs: u64,
+    /// Path-cache hits.
+    pub cache_hits: u64,
+    /// Path-cache misses.
+    pub cache_misses: u64,
+}
+
+/// Per-shard mutable state for evaluating queries against a
+/// [`SchedSnapshot`]: the reusable Dijkstra buffers and a per-epoch path
+/// cache. One scratch must only ever be used by one thread at a time
+/// (each shard owns its own); it revalidates itself against the
+/// snapshot's epoch on every query, so handing it snapshots of advancing
+/// epochs is safe and cheap.
+#[derive(Debug, Default)]
+pub struct SnapshotScratch {
+    /// Epoch the cache/SSSP state below belongs to.
+    epoch: Option<u64>,
+    sssp_source: Option<u32>,
+    dist: Vec<u64>,
+    prev: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// `(from, to)` dense-id pair → cached path (`None` = unreachable).
+    cache: BTreeMap<(u32, u32), Option<Vec<u32>>>,
+    path_buf: Vec<u32>,
+    candidates: Vec<u32>,
+    pathless: Vec<RankedServer>,
+    stats: SnapshotServeStats,
+}
+
+impl SnapshotScratch {
+    /// Fresh scratch (typically one per shard).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serving counters.
+    pub fn stats(&self) -> SnapshotServeStats {
+        self.stats
+    }
+
+    /// Revalidate against `snap`'s epoch: a moved epoch invalidates the
+    /// path cache and the memoized SSSP (the graph may have changed).
+    fn bind(&mut self, snap: &SchedSnapshot) {
+        if self.epoch != Some(snap.epoch) {
+            self.epoch = Some(snap.epoch);
+            self.sssp_source = None;
+            self.cache.clear();
+        }
+    }
+}
+
+/// Resolve which directed edge answers queue questions for the `from → to`
+/// arc, copying its harvest history into the snapshot's flat store.
+fn resolve_qlen(
+    map: &NetworkMap,
+    cfg: &CoreConfig,
+    from: NetNode,
+    to: NetNode,
+    qlen_hist: &mut Vec<(u64, u32)>,
+) -> ArcQlen {
+    let edge = map.edge(from, to).or_else(|| {
+        if cfg.direction_fallback == DirectionFallback::ReverseOk {
+            map.edge(to, from)
+        } else {
+            None
+        }
+    });
+    let Some(e) = edge else { return NO_QLEN };
+    let hist_start = qlen_hist.len() as u32;
+    qlen_hist.extend_from_slice(&e.qlen_history);
+    ArcQlen {
+        present: true,
+        updated_ns: e.qlen_updated_ns,
+        at_probe_pkts: e.qlen_at_probe_pkts,
+        hist_start,
+        hist_len: (qlen_hist.len() as u32) - hist_start,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::SchedulerCore;
+    use int_packet::int::IntRecord;
+    use int_packet::ProbePayload;
+
+    fn rec(switch_id: u32, maxq: u32, ts_ms: u64) -> IntRecord {
+        IntRecord {
+            switch_id,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: maxq,
+            qlen_at_probe_pkts: maxq / 2,
+            link_latency_ns: 10_000_000,
+            egress_ts_ns: ts_ms * 1_000_000,
+        }
+    }
+
+    fn probe(origin: u32, seq: u64, chain: &[(u32, u32)]) -> ProbePayload {
+        let mut p = ProbePayload::new(origin, seq, 0);
+        for (i, &(sw, q)) in chain.iter().enumerate() {
+            p.int.push(rec(sw, q, (i as u64 + 1) * 11));
+        }
+        p
+    }
+
+    /// A scheduler with two servers behind distinct switch chains, one
+    /// congested — the same shape the rank/sched tests use.
+    fn core_with_two_servers() -> SchedulerCore {
+        let mut d = StaticDistances::new();
+        d.set(6, 1, 3);
+        d.set(6, 2, 5);
+        let mut core = SchedulerCore::new(6, CoreConfig::default(), d, 42);
+        core.collector_mut().ingest(&probe(1, 1, &[(10, 20), (11, 0)]), 32_000_000);
+        core.collector_mut().ingest(&probe(2, 1, &[(12, 0), (11, 0)]), 32_000_000);
+        core
+    }
+
+    fn snap_of(core: &SchedulerCore, epoch: u64, at: u64) -> SchedSnapshot {
+        let mut engine = PathEngine::new();
+        SchedSnapshot::build(
+            core.collector(),
+            &mut engine,
+            &core.config_arc(),
+            &core.distances_arc(),
+            42,
+            epoch,
+            at,
+        )
+    }
+
+    #[test]
+    fn snapshot_matches_oracle_for_all_policies_and_requesters() {
+        let mut core = core_with_two_servers();
+        let now = 32_000_000;
+        let snap = snap_of(&core, 1, now);
+        let mut scratch = SnapshotScratch::new();
+        for requester in [6u32, 1, 2] {
+            for policy in [Policy::IntDelay, Policy::IntBandwidth, Policy::Nearest] {
+                let want = core.rank_detailed_with(requester, policy, now);
+                let got = snap.rank_detailed(&mut scratch, requester, policy, now, 7);
+                assert_eq!(got, want, "{requester} {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_honours_staleness_at_query_time() {
+        // Silence horizon widened so the only time-dependent effect in
+        // play is queue staleness (defaults tie both at 3 s).
+        let cfg = CoreConfig { origin_silence_ns: 60_000_000_000, ..CoreConfig::default() };
+        let mut d = StaticDistances::new();
+        d.set(6, 1, 3);
+        d.set(6, 2, 5);
+        let mut core = SchedulerCore::new(6, cfg, d, 42);
+        core.collector_mut().ingest(&probe(1, 1, &[(10, 20), (11, 0)]), 32_000_000);
+        core.collector_mut().ingest(&probe(2, 1, &[(12, 0), (11, 0)]), 32_000_000);
+        let now = 32_000_000;
+        let snap = snap_of(&core, 1, now);
+        let mut scratch = SnapshotScratch::new();
+        // Query far past the staleness horizon (but before eviction):
+        // queues read as empty in both planes, so the congested server's
+        // hop penalty vanishes identically.
+        let later = now + 4_000_000_000; // > 3 s staleness, < 10 s eviction
+        let want = core.rank_detailed_with(6, Policy::IntDelay, later);
+        let got = snap.rank_detailed(&mut scratch, 6, Policy::IntDelay, later, 0);
+        assert_eq!(got, want);
+        assert_eq!(got.ranked.len(), 2);
+        assert_eq!(
+            got.ranked[0].est_delay_ns, got.ranked[1].est_delay_ns,
+            "stale queues erase the congestion difference"
+        );
+    }
+
+    #[test]
+    fn snapshot_excludes_silent_origins_by_query_now() {
+        let mut core = core_with_two_servers();
+        // Server 2 keeps probing; server 1 goes dark.
+        let ms = 1_000_000u64;
+        for i in 1..=60u64 {
+            core.collector_mut()
+                .ingest(&probe(2, 1 + i, &[(12, 0), (11, 0)]), 32 * ms + i * 100 * ms);
+        }
+        let now = 32 * ms + 6_000 * ms; // ≫ 3 s silence horizon for origin 1
+        let horizon = core.config().eviction_horizon_ns;
+        core.collector_mut().map_mut().evict_stale(now, horizon);
+        let snap = snap_of(&core, 3, now);
+        let mut scratch = SnapshotScratch::new();
+        let want = core.rank_detailed_with(6, Policy::IntDelay, now);
+        let got = snap.rank_detailed(&mut scratch, 6, Policy::IntDelay, now, 0);
+        assert_eq!(got, want);
+        assert_eq!(got.excluded, vec![(1, ExcludeReason::OriginSilent)]);
+    }
+
+    #[test]
+    fn scratch_shares_one_sssp_per_source_and_caches_paths() {
+        let core = core_with_two_servers();
+        let snap = snap_of(&core, 1, 32_000_000);
+        let mut scratch = SnapshotScratch::new();
+        for _ in 0..10 {
+            snap.rank_detailed(&mut scratch, 6, Policy::IntDelay, 32_000_000, 0);
+        }
+        let s = scratch.stats();
+        assert_eq!(s.sssp_runs, 1, "one Dijkstra serves every query from host 6");
+        assert_eq!(s.cache_misses, 2, "one path extraction per candidate");
+        assert_eq!(s.cache_hits, 2 * 9, "repeat queries hit the cache");
+    }
+
+    #[test]
+    fn random_policy_is_slot_deterministic() {
+        let core = core_with_two_servers();
+        let snap = snap_of(&core, 1, 32_000_000);
+        let mut a = SnapshotScratch::new();
+        let mut b = SnapshotScratch::new();
+        let one = snap.rank_detailed(&mut a, 6, Policy::Random, 32_000_000, 5);
+        let two = snap.rank_detailed(&mut b, 6, Policy::Random, 32_000_000, 5);
+        assert_eq!(one, two, "same slot ⇒ same shuffle, regardless of scratch");
+        // Different slots eventually differ (2 candidates ⇒ 2 orders).
+        let mut seen = std::collections::BTreeSet::new();
+        for slot in 0..16 {
+            let mut s = SnapshotScratch::new();
+            let out = snap.rank_detailed(&mut s, 6, Policy::Random, 32_000_000, slot);
+            seen.insert(out.ranked.iter().map(|r| r.host).collect::<Vec<_>>());
+        }
+        assert!(seen.len() > 1, "the shuffle actually varies across slots");
+    }
+
+    #[test]
+    fn warm_up_fallback_matches_oracle_on_empty_map() {
+        let mut core = SchedulerCore::new(6, CoreConfig::default(), StaticDistances::new(), 1);
+        core.register_host(3);
+        core.register_host(5);
+        let snap = snap_of(&core, 1, 0);
+        let mut scratch = SnapshotScratch::new();
+        let want = core.rank_detailed_with(9, Policy::IntDelay, 0);
+        let got = snap.rank_detailed(&mut scratch, 9, Policy::IntDelay, 0, 0);
+        assert_eq!(got, want);
+        assert_eq!(got.ranked.len(), 3, "warm-up ranks everyone: {got:?}");
+        assert!(got.excluded.is_empty());
+    }
+}

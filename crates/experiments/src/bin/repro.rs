@@ -22,7 +22,8 @@
 //! (override with INT_RESULTS_DIR).
 
 use int_experiments::{
-    ablation, audit, failover, fig3, fig5, fig6, fig7, fig8, fig9, overhead, report, tab1,
+    ablation, audit, failover, fig3, fig5, fig6, fig7, fig8, fig9, overhead, report, sustained,
+    tab1,
 };
 use int_netsim::SimDuration;
 use std::time::Instant;
@@ -60,7 +61,7 @@ fn main() {
     }
 
     let Some(cmd) = cmd else {
-        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|failover|audit|overhead|ablation-k|ablation-maxq|ext-compute> [--seed N] [--scale F]");
+        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|failover|audit|overhead|ablation-k|ablation-maxq|ext-compute|sustained> [--seed N] [--scale F]");
         std::process::exit(2);
     };
 
@@ -68,7 +69,7 @@ fn main() {
         "all" => {
             for c in [
                 "tab1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "failover", "audit",
-                "overhead", "ablation-k", "ablation-maxq", "ext-compute",
+                "overhead", "ablation-k", "ablation-maxq", "ext-compute", "sustained",
             ] {
                 run_one(c, &opts);
             }
@@ -131,6 +132,11 @@ fn run_one(cmd: &str, opts: &Opts) {
             let out = fig9::run_sweep(opts.seed, tasks(opts), &fig9::paper_intervals());
             println!("{}", fig9::render(&out));
             save("fig9", &out);
+        }
+        "sustained" => {
+            let out = sustained::run(opts.seed, opts.scale);
+            println!("{}", sustained::render(&out));
+            save("sustained", &out);
         }
         "failover" => {
             // --scale trims the interval grid (the cells are cheap; the

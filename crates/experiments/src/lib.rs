@@ -37,6 +37,7 @@ pub mod overhead;
 pub mod report;
 pub mod runner;
 pub mod stats;
+pub mod sustained;
 pub mod tab1;
 pub mod testbed;
 

@@ -26,8 +26,12 @@ echo "$bench_log"
 # overflow variants and the indexed-vs-linear flow-table pair are the
 # regression guards for results/bench_pr4.json. The PR-5 rank_throughput
 # pair guards results/bench_pr5.json the same way.
+# rank_throughput_mt (PR 6) guards results/bench_pr6.json: the sharded
+# serve_batch path at 1/2/4/8 workers.
 for name in push_pop_far_1k timer_heavy_20s flow_table/lpm_indexed/512 flow_table/lpm_linear/512 \
-            rank_throughput/testbed_8h rank_throughput/fabric_64s_128h; do
+            rank_throughput/testbed_8h rank_throughput/fabric_64s_128h \
+            rank_throughput_mt/fabric_64s_128h/1 rank_throughput_mt/fabric_64s_128h/2 \
+            rank_throughput_mt/fabric_64s_128h/4 rank_throughput_mt/fabric_64s_128h/8; do
     grep -q "$name" <<<"$bench_log" \
         || { echo "bench smoke: $name missing from harness"; exit 1; }
 done
@@ -52,6 +56,29 @@ INT_RESULTS_DIR="$nocache_dir" INT_EXP_THREADS=1 INT_PATH_CACHE=0 \
     cargo run --release -q -p int-experiments --bin repro -- failover --seed 1 --scale 0.25
 cmp "$smoke_dir/failover.json" "$nocache_dir/failover.json" \
     || { echo "rank determinism smoke: path cache changed the artifact"; exit 1; }
+
+echo "== sustained load (smoke)"
+# The sharded control plane's determinism contract, end to end: the
+# `repro sustained` artifact must be byte-identical with one read shard
+# and with the default shard count (the digest covers every outcome, in
+# admission order).
+one_dir="$(mktemp -d)"
+many_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$nocache_dir" "$one_dir" "$many_dir"' EXIT
+INT_RESULTS_DIR="$one_dir" INT_SCHED_SHARDS=1 \
+    cargo run --release -q -p int-experiments --bin repro -- sustained --seed 1 --scale 0.05
+INT_RESULTS_DIR="$many_dir" \
+    cargo run --release -q -p int-experiments --bin repro -- sustained --seed 1 --scale 0.05
+cmp "$one_dir/sustained.json" "$many_dir/sustained.json" \
+    || { echo "sustained smoke: shard count changed the artifact"; exit 1; }
+grep -q '"digest"' "$one_dir/sustained.json" \
+    || { echo "sustained smoke: artifact has no digest"; exit 1; }
+
+echo "== shard stress (publish/read races)"
+# One extra pass over the concurrency tests with the stress cfg: more
+# churn rounds, more epochs in flight, same oracle equality.
+RUSTFLAGS="--cfg shard_stress --check-cfg=cfg(shard_stress)" \
+    cargo test --release -q --test shard_determinism
 
 echo "== audit export (smoke)"
 # Tiny instrumented cell: the exported artifact and both embedded JSON

@@ -10,8 +10,9 @@
 //! Single test function on purpose: parallel tests would interleave their
 //! allocations into the shared counter.
 
-use int_edge_sched::core::rank::{Ranker, StaticDistances};
-use int_edge_sched::core::{CoreConfig, Policy, RankedServer};
+use int_edge_sched::core::rank::{RankOutcome, Ranker, StaticDistances};
+use int_edge_sched::core::snapshot::SnapshotScratch;
+use int_edge_sched::core::{CoreConfig, Policy, RankedServer, SchedulerCore};
 use int_edge_sched::packet::int::IntRecord;
 use int_edge_sched::packet::ProbePayload;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -115,4 +116,104 @@ fn steady_state_rank_queries_allocate_nothing() {
         "every steady-state path resolution is a cache hit"
     );
     assert!(!out.is_empty());
+
+    // The scheduler-level `_into` entry points (PR 6 satellite): the full
+    // query path — eviction check, silence scan, candidate collection,
+    // detailed ranking with exclusions — reuses internal scratch and the
+    // caller's buffers, so it is alloc-free too.
+    let mut core = SchedulerCore::new(100, CoreConfig::default(), StaticDistances::new(), 1);
+    for h in 0..8u32 {
+        let mut p = ProbePayload::new(h, 1, 0);
+        for (i, sw) in [10 + h, 20].into_iter().enumerate() {
+            p.int.push(IntRecord {
+                switch_id: sw,
+                ingress_port: 0,
+                egress_port: 1,
+                max_qlen_pkts: h * 3,
+                qlen_at_probe_pkts: h,
+                link_latency_ns: 10_000_000,
+                egress_ts_ns: (i as u64 + 1) * 10_000_000,
+            });
+        }
+        core.collector_mut().ingest(&p, 30_000_000);
+    }
+    let mut detailed = RankOutcome::default();
+    let mut ranked: Vec<RankedServer> = Vec::new();
+    // Warm-up grows every buffer (including the audit-off fast path).
+    for policy in [Policy::IntDelay, Policy::IntBandwidth] {
+        core.rank_detailed_into_with(100, policy, 30_000_000, &mut detailed);
+        core.rank_with_into(100, policy, 30_000_000, &mut ranked);
+    }
+    core.candidates_with_estimates_into(100, 30_000_000, &mut ranked);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    counted(true);
+    for round in 0..1_000u64 {
+        let now = 30_000_000 + round;
+        core.rank_detailed_into_with(100, Policy::IntDelay, now, &mut detailed);
+        core.rank_with_into(100, Policy::IntBandwidth, now, &mut ranked);
+        core.candidates_with_estimates_into(100, now, &mut ranked);
+    }
+    counted(false);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state scheduler `_into` queries must not touch the heap"
+    );
+    assert!(!detailed.ranked.is_empty());
+
+    // Snapshot serving (the sharded read path): after one warm-up query
+    // fills the per-shard scratch, repeat queries are alloc-free as well.
+    let mut sharded = int_edge_sched::core::shard::ShardedScheduler::new(
+        100,
+        CoreConfig::default(),
+        StaticDistances::new(),
+        1,
+        1,
+    );
+    for h in 0..8u32 {
+        let mut p = ProbePayload::new(h, 2, 0);
+        for (i, sw) in [10 + h, 20].into_iter().enumerate() {
+            p.int.push(IntRecord {
+                switch_id: sw,
+                ingress_port: 0,
+                egress_port: 1,
+                max_qlen_pkts: h * 3,
+                qlen_at_probe_pkts: h,
+                link_latency_ns: 10_000_000,
+                egress_ts_ns: (i as u64 + 1) * 10_000_000,
+            });
+        }
+        sharded.core_mut().collector_mut().ingest(&p, 30_000_000);
+    }
+    sharded.advance(30_000_000);
+    let snap = sharded.epoch_slot().current().expect("published");
+    let mut scratch = SnapshotScratch::new();
+    for policy in [Policy::IntDelay, Policy::IntBandwidth] {
+        snap.rank_detailed_into(&mut scratch, 100, policy, 30_000_000, 0, &mut detailed);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    counted(true);
+    for round in 0..1_000u64 {
+        let now = 30_000_000 + round;
+        snap.rank_detailed_into(&mut scratch, 100, Policy::IntDelay, now, round, &mut detailed);
+        snap.rank_detailed_into(
+            &mut scratch,
+            100,
+            Policy::IntBandwidth,
+            now,
+            round,
+            &mut detailed,
+        );
+    }
+    counted(false);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state snapshot queries must not touch the heap"
+    );
+    assert!(!detailed.ranked.is_empty());
 }

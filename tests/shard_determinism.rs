@@ -1,0 +1,226 @@
+//! The sharded control plane's determinism contract (PR 6):
+//!
+//! 1. the `repro sustained` artifact is byte-identical across shard
+//!    counts {1, 2, 8} *and* equal to the single-threaded oracle replay
+//!    that drives the pre-sharding `SchedulerCore` directly;
+//! 2. under live churn — a writer ingesting probes and publishing
+//!    epochs while reader threads query concurrently — every answer a
+//!    reader gets matches the oracle evaluated at the epoch the query
+//!    was admitted against.
+//!
+//! Build with `RUSTFLAGS="--cfg shard_stress"` (CI does) to multiply
+//! the churn iterations and lean harder on the publish/read race paths.
+
+use int_edge_sched::core::rank::StaticDistances;
+use int_edge_sched::core::shard::{RankQuery, ShardedScheduler};
+use int_edge_sched::core::snapshot::SnapshotScratch;
+use int_edge_sched::core::{CoreConfig, Policy, RankOutcome, SchedulerCore};
+use int_edge_sched::experiments::sustained;
+use int_edge_sched::packet::int::IntRecord;
+use int_edge_sched::packet::ProbePayload;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Churn rounds: modest by default, heavy under `--cfg shard_stress`.
+fn churn_rounds() -> usize {
+    if cfg!(shard_stress) {
+        400
+    } else {
+        60
+    }
+}
+
+#[test]
+fn sustained_artifact_identical_across_shard_counts_and_oracle() {
+    // A trimmed run shape (CI-speed), same churn structure as the full
+    // scenario: fault window, eviction, recovery.
+    let (rounds, qpr) = (24, 96);
+    let seed = 5;
+
+    let oracle = sustained::run_oracle(seed, rounds, qpr);
+    assert_eq!(oracle.total_queries, (rounds * qpr) as u64);
+    assert!(!oracle.digest.is_empty());
+
+    let mut artifacts = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let (got, perf) = sustained::run_with(seed, rounds, qpr, shards);
+        assert_eq!(perf.shards, shards);
+        // The serialized artifact — what `repro sustained` writes — must
+        // be byte-identical, not just structurally equal.
+        artifacts.push(serde_json::to_string(&got).expect("serializable"));
+        assert_eq!(got, oracle, "shards={shards} diverged from the oracle");
+    }
+    assert!(
+        artifacts.windows(2).all(|w| w[0] == w[1]),
+        "artifact bytes differ across shard counts"
+    );
+    let oracle_bytes = serde_json::to_string(&oracle).expect("serializable");
+    assert_eq!(artifacts[0], oracle_bytes, "sharded bytes differ from oracle bytes");
+}
+
+fn probe(origin: u32, seq: u64, chain: &[(u32, u32)], ts_ns: u64) -> ProbePayload {
+    let mut p = ProbePayload::new(origin, seq, 0);
+    for (i, &(sw, q)) in chain.iter().enumerate() {
+        p.int.push(IntRecord {
+            switch_id: sw,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: q,
+            qlen_at_probe_pkts: q / 2,
+            link_latency_ns: 8_000_000,
+            egress_ts_ns: ts_ns.saturating_sub((chain.len() - i) as u64 * 40_000),
+        });
+    }
+    p
+}
+
+/// The ingest applied at `round`: three origins behind partially shared
+/// switches, queue depths churned per round, origin 2 silent in a
+/// mid-run window.
+fn ingest_round(core: &mut SchedulerCore, round: usize, rounds: usize) {
+    let now = (round as u64 + 1) * 100_000_000;
+    let q = |k: usize| ((round * 7 + k * 13) % 32) as u32;
+    core.collector_mut().ingest(
+        &probe(1, round as u64, &[(10, q(0)), (11, q(1))], now),
+        now,
+    );
+    if !(rounds / 4..rounds / 2).contains(&round) {
+        core.collector_mut().ingest(
+            &probe(2, round as u64, &[(12, q(2)), (11, q(3))], now),
+            now,
+        );
+    }
+    core.collector_mut().ingest(
+        &probe(3, round as u64, &[(13, q(4)), (11, q(5))], now),
+        now,
+    );
+}
+
+fn query_set() -> Vec<RankQuery> {
+    let mut qs = Vec::new();
+    for requester in [6u32, 1, 3] {
+        for policy in [Policy::IntDelay, Policy::IntBandwidth, Policy::Nearest] {
+            // now_ns is filled per epoch from the snapshot's publish time.
+            qs.push(RankQuery { requester, policy, now_ns: 0 });
+        }
+    }
+    qs
+}
+
+fn scheduler_distances() -> StaticDistances {
+    let mut d = StaticDistances::new();
+    d.set(6, 1, 2);
+    d.set(6, 2, 3);
+    d.set(6, 3, 4);
+    d.set(1, 2, 2);
+    d.set(1, 3, 3);
+    d.set(2, 3, 2);
+    d
+}
+
+/// Readers race the publisher and check every answer against the oracle
+/// for the epoch their snapshot belongs to.
+#[test]
+fn concurrent_queries_match_oracle_at_their_admitted_epoch() {
+    let rounds = churn_rounds();
+    let queries = query_set();
+
+    // Phase 1 — sequential oracle: one SchedulerCore receives the exact
+    // ingest stream; after each round, evaluate the query set at that
+    // round's publish time. `oracle_by_round[r]` is the truth for epoch
+    // r + 1 (the sharded plane publishes once per round: every round
+    // moves `probes_accepted`).
+    let mut oracle = SchedulerCore::new(6, CoreConfig::default(), scheduler_distances(), 9);
+    let mut oracle_by_round: Vec<Vec<RankOutcome>> = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        ingest_round(&mut oracle, round, rounds);
+        let now = (round as u64 + 1) * 100_000_000;
+        oracle_by_round.push(
+            queries
+                .iter()
+                .map(|q| oracle.rank_detailed_with(q.requester, q.policy, now))
+                .collect(),
+        );
+    }
+
+    // Phase 2 — live: a writer thread replays the same ingest and
+    // publishes epochs while readers continuously grab the current
+    // snapshot and verify their answers against the oracle row for that
+    // snapshot's epoch.
+    let mut sched = ShardedScheduler::new(6, CoreConfig::default(), scheduler_distances(), 9, 2);
+    let slot = sched.epoch_slot();
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _reader in 0..2 {
+            let slot = Arc::clone(&slot);
+            let done = Arc::clone(&done);
+            let queries = &queries;
+            let oracle_by_round = &oracle_by_round;
+            scope.spawn(move || {
+                let mut scratch = SnapshotScratch::new();
+                let mut cached = None;
+                let mut verified = 0u64;
+                let mut last_epoch = 0u64;
+                while !done.load(Ordering::Acquire) || last_epoch < rounds as u64 {
+                    if !slot.refresh(&mut cached) {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    let snap = cached.as_ref().expect("refresh returned true");
+                    let epoch = snap.epoch();
+                    let now = snap.published_at_ns();
+                    let want = &oracle_by_round[(epoch - 1) as usize];
+                    for (i, q) in queries.iter().enumerate() {
+                        let got = snap.rank_detailed(&mut scratch, q.requester, q.policy, now, i as u64);
+                        assert_eq!(
+                            got, want[i],
+                            "epoch {epoch} query {i} diverged from the oracle"
+                        );
+                        verified += 1;
+                    }
+                    last_epoch = epoch;
+                }
+                assert!(verified > 0, "reader never saw a snapshot");
+            });
+        }
+
+        for round in 0..rounds {
+            ingest_round(sched.core_mut(), round, rounds);
+            let now = (round as u64 + 1) * 100_000_000;
+            assert!(sched.advance(now), "every round must publish (probes moved)");
+            assert_eq!(sched.epoch(), round as u64 + 1);
+        }
+        done.store(true, Ordering::Release);
+    });
+}
+
+/// `serve_batch` slot numbering is stable across batch boundaries: two
+/// half batches equal one full batch, outcome for outcome.
+#[test]
+fn split_batches_equal_one_batch() {
+    let build = || {
+        let mut s = ShardedScheduler::new(6, CoreConfig::default(), scheduler_distances(), 9, 2);
+        for round in 0..8 {
+            ingest_round(s.core_mut(), round, 8);
+        }
+        s.advance(800_000_000);
+        s
+    };
+    let queries: Vec<RankQuery> = query_set()
+        .into_iter()
+        .map(|q| RankQuery { now_ns: 800_000_000, ..q })
+        .collect();
+
+    let mut whole = Vec::new();
+    build().serve_batch(&queries, &mut whole);
+
+    let mut s = build();
+    let mut first = Vec::new();
+    let mut second = Vec::new();
+    let mid = queries.len() / 2;
+    s.serve_batch(&queries[..mid], &mut first);
+    s.serve_batch(&queries[mid..], &mut second);
+    first.extend(second);
+    assert_eq!(first, whole, "slot numbering must not depend on batch boundaries");
+}
