@@ -25,4 +25,7 @@ pub use ping::{EchoResponderApp, PingApp};
 pub use probe::{ProbeCollectorApp, ProbeRelayApp, ProbeSenderApp};
 pub use scheduler::SchedulerApp;
 pub use sink::UdpSinkApp;
-pub use task::{TaskExecutorApp, TaskRecord, TaskSubmitterApp};
+pub use task::{
+    ExecutedTask, ExecutorConfig, FailReason, RunQueueOrder, TaskExecutorApp, TaskRecord,
+    TaskSubmitterApp,
+};

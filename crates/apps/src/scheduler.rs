@@ -6,7 +6,10 @@
 //! baselines ignore it.
 
 use int_core::rank::StaticDistances;
-use int_core::{CoreConfig, ExcludeReason, Policy, SchedulerCore};
+use int_core::{
+    Capabilities, CompositePolicy, ComputeTracker, CoreConfig, ExcludeReason, Policy,
+    SchedulerCore,
+};
 use int_netsim::{App, AppCtx};
 use int_packet::msgs::ControlMsg;
 use int_packet::wire::{WireDecode, WireEncode};
@@ -14,12 +17,23 @@ use int_packet::{RelayedProbe, PROBE_RELAY_UDP_PORT, PROBE_UDP_PORT, SCHEDULER_U
 use std::any::Any;
 use std::net::Ipv4Addr;
 
+/// Compute-aware re-ranking state: a composite policy plus the load
+/// tracker it consults (fed by executor `LoadReport`s).
+struct ComputeMode {
+    policy: CompositePolicy,
+    tracker: ComputeTracker,
+    /// Execution-time estimate used to convert backlog into queue wait, ns.
+    exec_est_ns: u64,
+}
+
 /// The scheduler application.
 pub struct SchedulerApp {
     core: SchedulerCore,
     policy: Policy,
+    compute: Option<ComputeMode>,
     queries_served: u64,
     probes_received: u64,
+    load_reports: u64,
     exclusions: u64,
     last_excluded: Vec<(u32, ExcludeReason)>,
 }
@@ -36,11 +50,40 @@ impl SchedulerApp {
         SchedulerApp {
             core: SchedulerCore::new(host_id, cfg, distances, seed),
             policy,
+            compute: None,
             queries_served: 0,
             probes_received: 0,
+            load_reports: 0,
             exclusions: 0,
             last_excluded: Vec::new(),
         }
+    }
+
+    /// Enable compute-aware re-ranking: candidate lists produced by the
+    /// base [`Policy`] are post-processed by `policy` using tracked
+    /// executor load (see [`ComputeTracker`]). `exec_est_ns` is the
+    /// execution-time estimate used to convert backlog into queue wait.
+    pub fn set_compute(&mut self, policy: CompositePolicy, exec_est_ns: u64) {
+        self.compute =
+            Some(ComputeMode { policy, tracker: ComputeTracker::new(), exec_est_ns });
+    }
+
+    /// Register an executor's slot count with the compute tracker (no-op
+    /// unless [`SchedulerApp::set_compute`] was called).
+    pub fn register_executor(&mut self, host: u32, slots: u32) {
+        if let Some(c) = &mut self.compute {
+            c.tracker.register(host, Capabilities::new(), slots);
+        }
+    }
+
+    /// The compute tracker, when compute-aware re-ranking is enabled.
+    pub fn compute_tracker(&self) -> Option<&ComputeTracker> {
+        self.compute.as_ref().map(|c| &c.tracker)
+    }
+
+    /// `LoadReport`s ingested.
+    pub fn load_reports(&self) -> u64 {
+        self.load_reports
     }
 
     /// The scheduler core (learned map, collector stats).
@@ -126,13 +169,37 @@ impl App for SchedulerApp {
             }
             SCHEDULER_UDP_PORT => {
                 let Ok(msg) = ControlMsg::decode(&mut &payload[..]) else { return };
-                let ControlMsg::SchedRequest { requester, job_id, .. } = msg else { return };
+                if let ControlMsg::LoadReport { host, outstanding } = msg {
+                    self.load_reports += 1;
+                    if let Some(c) = &mut self.compute {
+                        c.tracker.set_load(host, outstanding);
+                    }
+                    return;
+                }
+                let ControlMsg::SchedRequest { requester, job_id, task_count, .. } = msg else {
+                    return;
+                };
                 self.queries_served += 1;
 
-                let outcome =
+                let mut outcome =
                     self.core.rank_detailed_with(requester, self.policy, ctx.now.as_nanos());
                 self.exclusions += outcome.excluded.len() as u64;
                 self.last_excluded = outcome.excluded;
+                if let Some(c) = &mut self.compute {
+                    c.policy.apply(&c.tracker, &mut outcome.ranked, c.exec_est_ns);
+                    // Optimistically count the placements this response will
+                    // trigger (submitters assign task i to candidate
+                    // i % len): the executor's next ground-truth LoadReport
+                    // overwrites these, but without them every query issued
+                    // during a multi-second transfer window would herd onto
+                    // the same momentarily-idle server.
+                    if !outcome.ranked.is_empty() {
+                        for i in 0..task_count as usize {
+                            let host = outcome.ranked[i % outcome.ranked.len()].host;
+                            c.tracker.on_dispatch(host);
+                        }
+                    }
+                }
                 let candidates = outcome
                     .ranked
                     .into_iter()

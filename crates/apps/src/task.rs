@@ -4,25 +4,67 @@
 //!   queries the scheduler, picks the top-ranked candidate server per task,
 //!   streams the task's input data over TCP (header + payload), and waits
 //!   for the executor's `TaskDone` callback. It records every timestamp
-//!   the experiment harness needs.
+//!   the experiment harness needs. It also understands *workflows*
+//!   ([`int_workload::WorkflowSpec`]): task DAGs whose dependent tasks are
+//!   released — with a fresh scheduler query per ready stage — only once
+//!   their parents complete.
 //! * [`TaskExecutorApp`] runs on every edge server: accepts task streams,
-//!   "executes" each task for its declared duration once the data has
-//!   fully arrived, then reports completion over UDP.
+//!   runs each task once its data has fully arrived, then reports
+//!   completion over UDP. Execution uses a real compute model: a finite
+//!   number of parallel slots and a FIFO- or EDF-ordered run queue, with
+//!   the per-task queue wait recorded and echoed in the completion
+//!   callback. The default configuration keeps the slot count effectively
+//!   unlimited, which reproduces the paper's network-isolated evaluation.
 //!
-//! Executors run tasks concurrently (the paper's evaluation isolates
-//! *network* effects; its compute-aware variant is the `int-core::compute`
-//! extension).
+//! Failure accounting: a submitter can arm a bounded completion timeout
+//! per dispatched task — a task stream that dies mid-transfer (e.g. a
+//! faulted link; the transport retries forever and the executor never sees
+//! a close) is then marked failed instead of wedging [`TaskSubmitterApp::all_done`]
+//! forever. An empty candidate list likewise materializes *unplaceable*
+//! records, so experiment totals account for every planned task.
 
 use int_netsim::{App, AppCtx, ConnId, NodeId, SimDuration, SimTime, TcpEvent, Topology};
+use int_obs::{Labels, MetricsRegistry};
 use int_packet::msgs::{ControlMsg, RankingKind, TaskStreamHeader};
 use int_packet::wire::{WireDecode, WireEncode};
 use int_packet::{SCHEDULER_UDP_PORT, SCHED_CLIENT_UDP_PORT, TASK_UDP_PORT};
-use int_workload::JobSpec;
+use int_workload::{JobSpec, TaskClass, WorkflowSpec};
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 // ---------------------------------------------------------------- executor
+
+/// How an executor orders its run queue when all slots are busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunQueueOrder {
+    /// Data-arrival order.
+    #[default]
+    Fifo,
+    /// Earliest deadline first (tasks without a deadline go last, in
+    /// arrival order).
+    Edf,
+}
+
+/// Executor compute-model configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Parallel execution slots. The default is effectively unlimited
+    /// (`u32::MAX`), reproducing the paper's network-isolated evaluation;
+    /// the workflow experiments pin it down to model compute contention.
+    pub slots: u32,
+    /// Run-queue discipline once all slots are busy.
+    pub order: RunQueueOrder,
+    /// Where to push `LoadReport`s (outstanding = running + queued) when
+    /// the count changes; `None` disables reporting.
+    pub report_load_to: Option<Ipv4Addr>,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig { slots: u32::MAX, order: RunQueueOrder::Fifo, report_load_to: None }
+    }
+}
 
 /// A task an executor finished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +81,8 @@ pub struct ExecutedTask {
     pub accepted_at: SimTime,
     /// When the last payload byte arrived.
     pub data_received_at: SimTime,
+    /// Time spent waiting in the run queue for a free slot, ns.
+    pub queue_wait_ns: u64,
     /// When execution finished.
     pub finished_at: SimTime,
 }
@@ -50,28 +94,118 @@ struct InboundStream {
     data_received_at: Option<SimTime>,
 }
 
+/// A task whose data is complete, waiting for (or holding) a slot.
+#[derive(Debug, Clone, Copy)]
+struct ReadyTask {
+    header: TaskStreamHeader,
+    accepted_at: SimTime,
+    data_received_at: SimTime,
+    /// Arrival sequence number — the FIFO key and the EDF tiebreak.
+    seq: u64,
+}
+
+/// The run queue: tasks with complete data waiting for a free slot.
+#[derive(Debug, Default)]
+struct RunQueue {
+    items: Vec<ReadyTask>,
+}
+
+impl RunQueue {
+    fn push(&mut self, t: ReadyTask) {
+        self.items.push(t);
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Remove and return the next task under `order`.
+    fn pop(&mut self, order: RunQueueOrder) -> Option<ReadyTask> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let key = |t: &ReadyTask| match order {
+            RunQueueOrder::Fifo => (0u64, t.seq),
+            RunQueueOrder::Edf => {
+                // No deadline sorts after every real deadline.
+                let d = if t.header.deadline_ns == 0 { u64::MAX } else { t.header.deadline_ns };
+                (d, t.seq)
+            }
+        };
+        let (best, _) = self
+            .items
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| key(t))
+            .expect("non-empty queue");
+        Some(self.items.swap_remove(best))
+    }
+}
+
 /// The edge-server side: receives task streams and executes them.
 pub struct TaskExecutorApp {
+    cfg: ExecutorConfig,
     streams: HashMap<ConnId, InboundStream>,
-    /// Execution timers: timer id → the stream's bookkeeping.
-    pending_exec: BTreeMap<u64, (TaskStreamHeader, SimTime, SimTime)>,
-    /// Completion callbacks being (re)sent: timer id → (msg state, resends left).
-    pending_done: BTreeMap<u64, (TaskStreamHeader, SimTime, u32)>,
+    queue: RunQueue,
+    /// Tasks currently holding a slot.
+    running: u32,
+    /// Inbound streams whose header has been decoded but whose payload is
+    /// still arriving — counted in [`Self::outstanding`] so load reports
+    /// see work that is already committed to this server.
+    receiving: u32,
+    /// Execution timers: timer id → (ready task, queue wait it accrued).
+    pending_exec: BTreeMap<u64, (ReadyTask, u64)>,
+    /// Completion callbacks being (re)sent:
+    /// timer id → (header, data_received_at, queue_wait_ns, resends left).
+    pending_done: BTreeMap<u64, (TaskStreamHeader, SimTime, u64, u32)>,
     next_timer: u64,
+    next_seq: u64,
+    /// Streams that closed before their payload completed.
+    pub truncated_streams: u64,
+    /// Executor counters (disabled by default).
+    metrics: MetricsRegistry,
     /// Finished tasks, in completion order.
     pub executed: Vec<ExecutedTask>,
 }
 
 impl TaskExecutorApp {
-    /// New executor.
+    /// New executor with the default (unlimited-slot) compute model.
     pub fn new() -> Self {
+        Self::with_config(ExecutorConfig::default())
+    }
+
+    /// New executor with an explicit compute model.
+    pub fn with_config(cfg: ExecutorConfig) -> Self {
         TaskExecutorApp {
+            cfg,
             streams: HashMap::new(),
+            queue: RunQueue::default(),
+            running: 0,
+            receiving: 0,
             pending_exec: BTreeMap::new(),
             pending_done: BTreeMap::new(),
             next_timer: 1,
+            next_seq: 0,
+            truncated_streams: 0,
+            metrics: MetricsRegistry::new(),
             executed: Vec::new(),
         }
+    }
+
+    /// Enable or disable the executor's metric counters.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics.set_enabled(on);
+    }
+
+    /// The executor's metric counters.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Tasks committed to this server: running, queued, or still
+    /// transferring their input data.
+    pub fn outstanding(&self) -> u32 {
+        self.running + self.queue.len() as u32 + self.receiving
     }
 
     fn try_consume(&mut self, ctx: &mut AppCtx<'_>, conn: ConnId) {
@@ -81,6 +215,8 @@ impl TaskExecutorApp {
                 Ok(h) => {
                     st.buf.drain(..TaskStreamHeader::LEN);
                     st.header = Some(h);
+                    self.receiving += 1;
+                    self.report_load(ctx);
                 }
                 Err(_) => {
                     // Corrupt stream: drop our bookkeeping; the transport
@@ -90,34 +226,67 @@ impl TaskExecutorApp {
                 }
             }
         }
+        let Some(st) = self.streams.get_mut(&conn) else { return };
         let Some(h) = st.header else { return };
         if st.data_received_at.is_none() && st.buf.len() as u64 >= h.data_len {
             st.data_received_at = Some(ctx.now);
-            // Data complete: start "executing".
-            let timer = self.next_timer;
-            self.next_timer += 1;
-            self.pending_exec.insert(timer, (h, st.accepted_at, ctx.now));
-            ctx.set_timer(SimDuration::from_nanos(h.exec_duration_ns), timer);
+            let accepted_at = st.accepted_at;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.receiving = self.receiving.saturating_sub(1);
+            self.admit(ctx, ReadyTask { header: h, accepted_at, data_received_at: ctx.now, seq });
         }
+    }
+
+    /// A task's data is complete: start it if a slot is free, else queue.
+    fn admit(&mut self, ctx: &mut AppCtx<'_>, t: ReadyTask) {
+        if self.running < self.cfg.slots {
+            self.start(ctx, t);
+        } else {
+            self.metrics.counter_inc("tasks_queued", Labels::none());
+            self.queue.push(t);
+        }
+        self.report_load(ctx);
+    }
+
+    fn start(&mut self, ctx: &mut AppCtx<'_>, t: ReadyTask) {
+        let queue_wait_ns = ctx.now.as_nanos().saturating_sub(t.data_received_at.as_nanos());
+        self.running += 1;
+        let timer = self.next_timer;
+        self.next_timer += 1;
+        self.pending_exec.insert(timer, (t, queue_wait_ns));
+        ctx.set_timer(SimDuration::from_nanos(t.header.exec_duration_ns), timer);
+    }
+
+    fn report_load(&mut self, ctx: &mut AppCtx<'_>) {
+        if let Some(sched) = self.cfg.report_load_to {
+            let msg = ControlMsg::LoadReport { host: ctx.node.0, outstanding: self.outstanding() };
+            ctx.send_udp(TASK_UDP_PORT, sched, SCHEDULER_UDP_PORT, msg.to_bytes());
+        }
+    }
+
+    fn send_done(
+        &self,
+        ctx: &mut AppCtx<'_>,
+        h: &TaskStreamHeader,
+        data_received_at: SimTime,
+        queue_wait_ns: u64,
+    ) {
+        let done = ControlMsg::TaskDone {
+            job_id: h.job_id,
+            task_id: h.task_id,
+            executed_on: ctx.node.0,
+            data_received_ts_ns: data_received_at.as_nanos(),
+            queue_wait_ns,
+        };
+        let origin_ip = Topology::host_ip(NodeId(h.origin));
+        ctx.send_udp(TASK_UDP_PORT, origin_ip, TASK_UDP_PORT, done.to_bytes());
     }
 }
 
 impl Default for TaskExecutorApp {
     fn default() -> Self {
         Self::new()
-    }
-}
-
-impl TaskExecutorApp {
-    fn send_done(&self, ctx: &mut AppCtx<'_>, h: &TaskStreamHeader, data_received_at: SimTime) {
-        let done = ControlMsg::TaskDone {
-            job_id: h.job_id,
-            task_id: h.task_id,
-            executed_on: ctx.node.0,
-            data_received_ts_ns: data_received_at.as_nanos(),
-        };
-        let origin_ip = Topology::host_ip(NodeId(h.origin));
-        ctx.send_udp(TASK_UDP_PORT, origin_ip, TASK_UDP_PORT, done.to_bytes());
     }
 }
 
@@ -146,42 +315,62 @@ impl App for TaskExecutorApp {
                 }
             }
             TcpEvent::Closed { conn } => {
-                // Stream ended; completed submissions were already recorded
-                // in try_consume, truncated ones are simply forgotten —
-                // either way the stream state goes.
-                self.streams.remove(&conn);
+                // Completed submissions were already admitted in
+                // try_consume; a stream that closes with its payload
+                // incomplete was truncated (the submitter's completion
+                // timeout does the lifecycle accounting on its side).
+                if let Some(st) = self.streams.remove(&conn) {
+                    if st.data_received_at.is_none() {
+                        self.truncated_streams += 1;
+                        self.metrics.counter_inc("streams_truncated", Labels::none());
+                        if st.header.is_some() {
+                            self.receiving = self.receiving.saturating_sub(1);
+                            self.report_load(ctx);
+                        }
+                    }
+                }
             }
             TcpEvent::Connected { .. } => {}
         }
     }
 
     fn on_timer(&mut self, ctx: &mut AppCtx<'_>, timer_id: u64) {
-        if let Some((h, accepted_at, data_received_at)) = self.pending_exec.remove(&timer_id) {
+        if let Some((t, queue_wait_ns)) = self.pending_exec.remove(&timer_id) {
+            let h = t.header;
             self.executed.push(ExecutedTask {
                 job_id: h.job_id,
                 task_id: h.task_id,
                 origin: h.origin,
                 data_bytes: h.data_len,
-                accepted_at,
-                data_received_at,
+                accepted_at: t.accepted_at,
+                data_received_at: t.data_received_at,
+                queue_wait_ns,
                 finished_at: ctx.now,
             });
+            self.metrics.counter_inc("tasks_executed", Labels::none());
             // The completion callback is UDP: repeat it a few times so a
             // single drop at a congested queue cannot lose the completion
             // (receivers treat duplicates idempotently).
-            self.send_done(ctx, &h, data_received_at);
+            self.send_done(ctx, &h, t.data_received_at, queue_wait_ns);
             let timer = self.next_timer;
             self.next_timer += 1;
-            self.pending_done.insert(timer, (h, data_received_at, 2));
+            self.pending_done.insert(timer, (h, t.data_received_at, queue_wait_ns, 2));
             ctx.set_timer(SimDuration::from_secs(1), timer);
+            // The slot frees up: start the next queued task, if any.
+            self.running = self.running.saturating_sub(1);
+            if let Some(next) = self.queue.pop(self.cfg.order) {
+                self.start(ctx, next);
+            }
+            self.report_load(ctx);
             return;
         }
-        if let Some((h, data_received_at, left)) = self.pending_done.remove(&timer_id) {
-            self.send_done(ctx, &h, data_received_at);
+        if let Some((h, data_received_at, queue_wait_ns, left)) = self.pending_done.remove(&timer_id)
+        {
+            self.send_done(ctx, &h, data_received_at, queue_wait_ns);
             if left > 1 {
                 let timer = self.next_timer;
                 self.next_timer += 1;
-                self.pending_done.insert(timer, (h, data_received_at, left - 1));
+                self.pending_done.insert(timer, (h, data_received_at, queue_wait_ns, left - 1));
                 ctx.set_timer(SimDuration::from_secs(1), timer);
             }
         }
@@ -198,19 +387,35 @@ impl App for TaskExecutorApp {
 
 // ---------------------------------------------------------------- submitter
 
+/// Why a task record was marked failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// The completion timeout expired before `TaskDone` arrived (e.g. the
+    /// task stream died mid-transfer on a faulted path).
+    Timeout,
+    /// The scheduler returned an empty candidate list.
+    Unplaceable,
+    /// A workflow ancestor failed, so this task could never be released.
+    ParentFailed,
+}
+
 /// The full record of one task's lifecycle, as seen by its submitter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskRecord {
-    /// Job the task belongs to.
+    /// Job (or workflow stage) the task belongs to.
     pub job_id: u64,
-    /// Task within the job.
+    /// Task within the job (unique within the workflow, for workflows).
     pub task_id: u64,
+    /// Workflow this task belongs to, if any.
+    pub workflow_id: Option<u64>,
     /// Table I class.
-    pub class: int_workload::TaskClass,
+    pub class: TaskClass,
     /// Input data size, bytes.
     pub data_bytes: u64,
     /// Declared execution time, ns.
     pub exec_ns: u64,
+    /// Absolute deadline, ns since epoch (0 = no deadline).
+    pub deadline_ns: u64,
     /// When the job was submitted (scheduler query sent).
     pub submitted_at: SimTime,
     /// When the task's TCP stream was opened (candidates received).
@@ -219,8 +424,15 @@ pub struct TaskRecord {
     pub server: Option<u32>,
     /// Server-side time the data fully arrived (from `TaskDone`).
     pub data_received_at: Option<SimTime>,
+    /// Server-side run-queue wait (from `TaskDone`), ns.
+    pub queue_wait_ns: Option<u64>,
     /// When the completion callback arrived.
     pub completed_at: Option<SimTime>,
+    /// When the submitter gave up on the task (timeout / unplaceable /
+    /// failed ancestor).
+    pub failed_at: Option<SimTime>,
+    /// Why it failed.
+    pub fail_reason: Option<FailReason>,
 }
 
 impl TaskRecord {
@@ -235,21 +447,79 @@ impl TaskRecord {
     pub fn completion_time(&self) -> Option<SimDuration> {
         Some(self.completed_at?.since(self.submitted_at))
     }
+
+    /// Has the task reached a terminal state (completed or failed)?
+    pub fn resolved(&self) -> bool {
+        self.completed_at.is_some() || self.failed_at.is_some()
+    }
+
+    /// For a deadline-carrying task: did it miss? (Not completing at all
+    /// counts as a miss.)
+    pub fn missed_deadline(&self) -> bool {
+        self.deadline_ns != 0
+            && match self.completed_at {
+                Some(t) => t.as_nanos() > self.deadline_ns,
+                None => true,
+            }
+    }
 }
 
-struct PendingJob {
-    job: JobSpec,
+/// One task inside an outstanding scheduler query.
+#[derive(Debug, Clone)]
+struct QueryTask {
+    task_id: u64,
+    data_bytes: u64,
+    exec_ns: u64,
+    class: TaskClass,
+    deadline_ns: u64,
+}
+
+/// An outstanding scheduler query (a legacy job or a workflow stage).
+struct PendingQuery {
+    tasks: Vec<QueryTask>,
     submitted_at: SimTime,
+    /// Index into `wf` when this query is a workflow stage.
+    wf_idx: Option<usize>,
 }
 
-/// The edge-device side: submits planned jobs through the scheduler.
+/// Per-workflow release bookkeeping.
+struct WfState {
+    spec: WorkflowSpec,
+    /// Tasks already dispatched to a query (or terminally failed).
+    released: BTreeSet<u64>,
+    completed: BTreeSet<u64>,
+    failed: BTreeSet<u64>,
+    /// Stage counter (stage job ids are `workflow_id << 16 | seq`).
+    stage_seq: u64,
+}
+
+// Timer-id encoding: low 32 bits are a payload index, the high bits select
+// the timer kind.
+const RETRY_BIT: u64 = 1 << 32; // legacy job query retry (payload: job index)
+const TIMEOUT_BIT: u64 = 1 << 33; // completion timeout (payload: record index)
+const WF_RELEASE_BIT: u64 = 1 << 34; // workflow release (payload: wf index)
+const STAGE_RETRY_BIT: u64 = 1 << 35; // stage query retry (payload: stage counter)
+const PAYLOAD_MASK: u64 = RETRY_BIT - 1;
+
+/// The edge-device side: submits planned jobs and workflows through the
+/// scheduler.
 pub struct TaskSubmitterApp {
     scheduler: Ipv4Addr,
     ranking: RankingKind,
     jobs: Vec<JobSpec>,
-    awaiting_response: HashMap<u64, PendingJob>,
+    wf: Vec<WfState>,
+    awaiting_response: HashMap<u64, PendingQuery>,
+    /// Stage-retry timer payload → stage job id.
+    stage_retry: BTreeMap<u64, u64>,
+    next_stage_retry: u64,
+    /// Stage job id → workflow index (for `TaskDone` routing).
+    job_to_wf: HashMap<u64, usize>,
     /// (job_id, task_id) → index into `records`.
     record_idx: HashMap<(u64, u64), usize>,
+    /// Per-task completion timeout armed at dispatch; `None` disables it.
+    completion_timeout: Option<SimDuration>,
+    /// Submitter counters (disabled by default).
+    metrics: MetricsRegistry,
     /// Everything this submitter observed, in dispatch order.
     pub records: Vec<TaskRecord>,
 }
@@ -262,16 +532,269 @@ impl TaskSubmitterApp {
             scheduler,
             ranking,
             jobs,
+            wf: Vec::new(),
             awaiting_response: HashMap::new(),
+            stage_retry: BTreeMap::new(),
+            next_stage_retry: 0,
+            job_to_wf: HashMap::new(),
             record_idx: HashMap::new(),
+            completion_timeout: None,
+            metrics: MetricsRegistry::new(),
             records: Vec::new(),
         }
     }
 
-    /// True once every planned task has a completion callback.
+    /// Submitter for DAG `workflows` (all owned by this node). Stage by
+    /// stage, ready tasks are released only once their parents complete,
+    /// each stage re-querying the scheduler.
+    pub fn new_workflows(
+        scheduler: Ipv4Addr,
+        ranking: RankingKind,
+        workflows: Vec<WorkflowSpec>,
+    ) -> Self {
+        let mut app = Self::new(scheduler, ranking, Vec::new());
+        app.wf = workflows
+            .into_iter()
+            .map(|spec| WfState {
+                spec,
+                released: BTreeSet::new(),
+                completed: BTreeSet::new(),
+                failed: BTreeSet::new(),
+                stage_seq: 0,
+            })
+            .collect();
+        app
+    }
+
+    /// Bound every dispatched task's wait for its completion callback.
+    /// When the timeout expires first the record is marked failed
+    /// ([`FailReason::Timeout`]) instead of wedging [`Self::all_done`]
+    /// forever — the regression this guards is a task stream dying on a
+    /// faulted link mid-transfer, which the transport retries endlessly
+    /// and the executor never notices.
+    pub fn with_completion_timeout(mut self, timeout: SimDuration) -> Self {
+        self.completion_timeout = Some(timeout);
+        self
+    }
+
+    /// Enable or disable the submitter's metric counters.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics.set_enabled(on);
+    }
+
+    /// The submitter's metric counters.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Planned tasks across jobs and workflows.
+    pub fn planned_tasks(&self) -> usize {
+        self.jobs.iter().map(|j| j.tasks.len()).sum::<usize>()
+            + self.wf.iter().map(|w| w.spec.tasks.len()).sum::<usize>()
+    }
+
+    /// True once every planned task has reached a terminal state
+    /// (completion callback, timeout, unplaceable, or failed ancestor).
     pub fn all_done(&self) -> bool {
-        let planned: usize = self.jobs.iter().map(|j| j.tasks.len()).sum();
-        self.records.len() == planned && self.records.iter().all(|r| r.completed_at.is_some())
+        self.records.len() == self.planned_tasks() && self.records.iter().all(|r| r.resolved())
+    }
+
+    fn send_query(&self, ctx: &mut AppCtx<'_>, job_id: u64, task_count: u8) {
+        let req = ControlMsg::SchedRequest {
+            requester: ctx.node.0,
+            job_id,
+            task_count,
+            ranking: self.ranking,
+        };
+        ctx.send_udp(SCHED_CLIENT_UDP_PORT, self.scheduler, SCHEDULER_UDP_PORT, req.to_bytes());
+    }
+
+    /// Dispatch one task to `server`: open the stream, write header +
+    /// payload, create the record, and arm the completion timeout.
+    fn dispatch_task(
+        &mut self,
+        ctx: &mut AppCtx<'_>,
+        job_id: u64,
+        workflow_id: Option<u64>,
+        submitted_at: SimTime,
+        task: &QueryTask,
+        server: u32,
+    ) {
+        let server_ip = Topology::host_ip(NodeId(server));
+        let conn = ctx.tcp_connect(server_ip, TASK_UDP_PORT);
+        let header = TaskStreamHeader {
+            job_id,
+            task_id: task.task_id,
+            origin: ctx.node.0,
+            exec_duration_ns: task.exec_ns,
+            deadline_ns: task.deadline_ns,
+            data_len: task.data_bytes,
+        };
+        let mut stream = header.to_bytes();
+        stream.extend(std::iter::repeat_n(0u8, task.data_bytes as usize));
+        ctx.tcp_send(conn, stream);
+        ctx.tcp_close(conn);
+
+        let rec = TaskRecord {
+            job_id,
+            task_id: task.task_id,
+            workflow_id,
+            class: task.class,
+            data_bytes: task.data_bytes,
+            exec_ns: task.exec_ns,
+            deadline_ns: task.deadline_ns,
+            submitted_at,
+            dispatched_at: Some(ctx.now),
+            server: Some(server),
+            data_received_at: None,
+            queue_wait_ns: None,
+            completed_at: None,
+            failed_at: None,
+            fail_reason: None,
+        };
+        let idx = self.records.len();
+        self.record_idx.insert((job_id, task.task_id), idx);
+        self.records.push(rec);
+        self.metrics.counter_inc("tasks_dispatched", Labels::none());
+        if let Some(timeout) = self.completion_timeout {
+            ctx.set_timer(timeout, TIMEOUT_BIT | idx as u64);
+        }
+    }
+
+    /// Record a task that terminally failed without ever being dispatched.
+    fn push_failed_record(
+        &mut self,
+        now: SimTime,
+        job_id: u64,
+        workflow_id: Option<u64>,
+        submitted_at: SimTime,
+        task: &QueryTask,
+        reason: FailReason,
+    ) {
+        let rec = TaskRecord {
+            job_id,
+            task_id: task.task_id,
+            workflow_id,
+            class: task.class,
+            data_bytes: task.data_bytes,
+            exec_ns: task.exec_ns,
+            deadline_ns: task.deadline_ns,
+            submitted_at,
+            dispatched_at: None,
+            server: None,
+            data_received_at: None,
+            queue_wait_ns: None,
+            completed_at: None,
+            failed_at: Some(now),
+            fail_reason: Some(reason),
+        };
+        self.record_idx.insert((job_id, task.task_id), self.records.len());
+        self.records.push(rec);
+    }
+
+    fn query_task_of_wf(t: &int_workload::WorkflowTaskSpec) -> QueryTask {
+        QueryTask {
+            task_id: t.task_id,
+            data_bytes: t.data_bytes,
+            exec_ns: t.exec_ns,
+            class: t.class,
+            deadline_ns: t.deadline_ns,
+        }
+    }
+
+    /// Release every workflow task whose parents have all resolved:
+    /// tasks with a failed ancestor are terminally failed (cascading),
+    /// the rest are batched into one stage query.
+    fn release_ready(&mut self, ctx: &mut AppCtx<'_>, wf_idx: usize) {
+        loop {
+            let w = &self.wf[wf_idx];
+            let workflow_id = w.spec.workflow_id;
+            let mut doomed: Vec<QueryTask> = Vec::new();
+            let mut ready: Vec<QueryTask> = Vec::new();
+            for t in &w.spec.tasks {
+                if w.released.contains(&t.task_id) {
+                    continue;
+                }
+                let resolved = t
+                    .parents
+                    .iter()
+                    .all(|p| w.completed.contains(p) || w.failed.contains(p));
+                if !resolved {
+                    continue;
+                }
+                if t.parents.iter().any(|p| w.failed.contains(p)) {
+                    doomed.push(Self::query_task_of_wf(t));
+                } else {
+                    ready.push(Self::query_task_of_wf(t));
+                }
+            }
+            if doomed.is_empty() && ready.is_empty() {
+                return;
+            }
+
+            if !doomed.is_empty() {
+                let w = &mut self.wf[wf_idx];
+                let job_id = (workflow_id << 16) | w.stage_seq;
+                w.stage_seq += 1;
+                for t in &doomed {
+                    w.released.insert(t.task_id);
+                    w.failed.insert(t.task_id);
+                }
+                self.metrics.counter_add(
+                    "tasks_failed_parent",
+                    Labels::none(),
+                    doomed.len() as u64,
+                );
+                for t in doomed {
+                    self.push_failed_record(
+                        ctx.now,
+                        job_id,
+                        Some(workflow_id),
+                        ctx.now,
+                        &t,
+                        FailReason::ParentFailed,
+                    );
+                }
+                // A cascade may have unblocked (or doomed) more tasks.
+                continue;
+            }
+
+            // One stage query for all simultaneously ready tasks.
+            let w = &mut self.wf[wf_idx];
+            let job_id = (workflow_id << 16) | w.stage_seq;
+            w.stage_seq += 1;
+            for t in &ready {
+                w.released.insert(t.task_id);
+            }
+            let task_count = ready.len().min(u8::MAX as usize) as u8;
+            self.job_to_wf.insert(job_id, wf_idx);
+            self.awaiting_response.insert(
+                job_id,
+                PendingQuery { tasks: ready, submitted_at: ctx.now, wf_idx: Some(wf_idx) },
+            );
+            self.send_query(ctx, job_id, task_count);
+            let retry_payload = self.next_stage_retry;
+            self.next_stage_retry += 1;
+            self.stage_retry.insert(retry_payload, job_id);
+            ctx.set_timer(SimDuration::from_secs(2), STAGE_RETRY_BIT | retry_payload);
+        }
+    }
+
+    /// A workflow task reached a terminal state; advance the DAG.
+    fn on_wf_task_resolved(
+        &mut self,
+        ctx: &mut AppCtx<'_>,
+        wf_idx: usize,
+        task_id: u64,
+        failed: bool,
+    ) {
+        let w = &mut self.wf[wf_idx];
+        if failed {
+            w.failed.insert(task_id);
+        } else {
+            w.completed.insert(task_id);
+        }
+        self.release_ready(ctx, wf_idx);
     }
 }
 
@@ -283,28 +806,74 @@ impl App for TaskSubmitterApp {
             let delay = SimTime(job.submit_at_ns).since(ctx.now);
             ctx.set_timer(delay, i as u64);
         }
+        for (i, w) in self.wf.iter().enumerate() {
+            let delay = SimTime(w.spec.release_at_ns).since(ctx.now);
+            ctx.set_timer(delay, WF_RELEASE_BIT | i as u64);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut AppCtx<'_>, timer_id: u64) {
-        const RETRY_BIT: u64 = 1 << 32;
-        let idx = (timer_id & (RETRY_BIT - 1)) as usize;
+        let payload = (timer_id & PAYLOAD_MASK) as usize;
+
+        if timer_id & STAGE_RETRY_BIT != 0 {
+            let Some(&job_id) = self.stage_retry.get(&(payload as u64)) else { return };
+            let Some(pending) = self.awaiting_response.get(&job_id) else {
+                self.stage_retry.remove(&(payload as u64));
+                return; // the response arrived in the meantime
+            };
+            let task_count = pending.tasks.len().min(u8::MAX as usize) as u8;
+            self.send_query(ctx, job_id, task_count);
+            ctx.set_timer(SimDuration::from_secs(2), timer_id);
+            return;
+        }
+
+        if timer_id & WF_RELEASE_BIT != 0 {
+            if payload < self.wf.len() {
+                self.release_ready(ctx, payload);
+            }
+            return;
+        }
+
+        if timer_id & TIMEOUT_BIT != 0 {
+            let Some(rec) = self.records.get_mut(payload) else { return };
+            if rec.resolved() {
+                return;
+            }
+            rec.failed_at = Some(ctx.now);
+            rec.fail_reason = Some(FailReason::Timeout);
+            self.metrics.counter_inc("tasks_failed_timeout", Labels::none());
+            let (job_id, task_id) = (rec.job_id, rec.task_id);
+            if let Some(&wf_idx) = self.job_to_wf.get(&job_id) {
+                self.on_wf_task_resolved(ctx, wf_idx, task_id, true);
+            }
+            return;
+        }
+
+        // Legacy job submission (and its query retry).
         let is_retry = timer_id & RETRY_BIT != 0;
-        let Some(job) = self.jobs.get(idx).cloned() else { return };
+        let Some(job) = self.jobs.get(payload).cloned() else { return };
         if is_retry && !self.awaiting_response.contains_key(&job.job_id) {
             return; // the response arrived in the meantime
         }
-        let req = ControlMsg::SchedRequest {
-            requester: ctx.node.0,
-            job_id: job.job_id,
-            task_count: job.tasks.len() as u8,
-            ranking: self.ranking,
-        };
-        ctx.send_udp(SCHED_CLIENT_UDP_PORT, self.scheduler, SCHEDULER_UDP_PORT, req.to_bytes());
+        self.send_query(ctx, job.job_id, job.tasks.len() as u8);
         // Query and response ride UDP; retry until the response lands.
         ctx.set_timer(SimDuration::from_secs(2), timer_id | RETRY_BIT);
         if !is_retry {
-            self.awaiting_response
-                .insert(job.job_id, PendingJob { job, submitted_at: ctx.now });
+            let tasks = job
+                .tasks
+                .iter()
+                .map(|t| QueryTask {
+                    task_id: t.task_id,
+                    data_bytes: t.data_bytes,
+                    exec_ns: t.exec_ns,
+                    class: t.class,
+                    deadline_ns: 0,
+                })
+                .collect();
+            self.awaiting_response.insert(
+                job.job_id,
+                PendingQuery { tasks, submitted_at: ctx.now, wf_idx: None },
+            );
         }
     }
 
@@ -320,51 +889,65 @@ impl App for TaskSubmitterApp {
         match (to_port, msg) {
             (SCHED_CLIENT_UDP_PORT, ControlMsg::SchedResponse { job_id, candidates }) => {
                 let Some(pending) = self.awaiting_response.remove(&job_id) else { return };
+                let workflow_id = pending.wf_idx.map(|i| self.wf[i].spec.workflow_id);
                 if candidates.is_empty() {
-                    return; // nowhere to run; the record never materializes
+                    // Nowhere to run: account for every planned task with
+                    // an unplaceable record instead of dropping the job.
+                    self.metrics.counter_add(
+                        "tasks_unplaceable",
+                        Labels::none(),
+                        pending.tasks.len() as u64,
+                    );
+                    for task in &pending.tasks {
+                        self.push_failed_record(
+                            ctx.now,
+                            job_id,
+                            workflow_id,
+                            pending.submitted_at,
+                            task,
+                            FailReason::Unplaceable,
+                        );
+                    }
+                    if let Some(wf_idx) = pending.wf_idx {
+                        for task in &pending.tasks {
+                            self.wf[wf_idx].failed.insert(task.task_id);
+                        }
+                        self.release_ready(ctx, wf_idx);
+                    }
+                    return;
                 }
-                for (i, task) in pending.job.tasks.iter().enumerate() {
+                for (i, task) in pending.tasks.iter().enumerate() {
                     // Top-N assignment: task i goes to candidate i (wrap if
                     // the list is short).
                     let server = candidates[i % candidates.len()].node;
-                    let server_ip = Topology::host_ip(NodeId(server));
-                    let conn = ctx.tcp_connect(server_ip, TASK_UDP_PORT);
-
-                    let header = TaskStreamHeader {
+                    self.dispatch_task(
+                        ctx,
                         job_id,
-                        task_id: task.task_id,
-                        origin: ctx.node.0,
-                        exec_duration_ns: task.exec_ns,
-                        data_len: task.data_bytes,
-                    };
-                    let mut stream = header.to_bytes();
-                    stream.extend(std::iter::repeat_n(0u8, task.data_bytes as usize));
-                    ctx.tcp_send(conn, stream);
-                    ctx.tcp_close(conn);
-
-                    let rec = TaskRecord {
-                        job_id,
-                        task_id: task.task_id,
-                        class: task.class,
-                        data_bytes: task.data_bytes,
-                        exec_ns: task.exec_ns,
-                        submitted_at: pending.submitted_at,
-                        dispatched_at: Some(ctx.now),
-                        server: Some(server),
-                        data_received_at: None,
-                        completed_at: None,
-                    };
-                    self.record_idx.insert((job_id, task.task_id), self.records.len());
-                    self.records.push(rec);
+                        workflow_id,
+                        pending.submitted_at,
+                        task,
+                        server,
+                    );
                 }
             }
-            (TASK_UDP_PORT, ControlMsg::TaskDone { job_id, task_id, data_received_ts_ns, .. }) => {
-                if let Some(&idx) = self.record_idx.get(&(job_id, task_id)) {
-                    let rec = &mut self.records[idx];
-                    if rec.completed_at.is_none() {
-                        rec.data_received_at = Some(SimTime(data_received_ts_ns));
-                        rec.completed_at = Some(ctx.now);
-                    }
+            (
+                TASK_UDP_PORT,
+                ControlMsg::TaskDone { job_id, task_id, data_received_ts_ns, queue_wait_ns, .. },
+            ) => {
+                let Some(&idx) = self.record_idx.get(&(job_id, task_id)) else { return };
+                let rec = &mut self.records[idx];
+                if rec.resolved() {
+                    return; // duplicate callback, or already timed out
+                }
+                rec.data_received_at = Some(SimTime(data_received_ts_ns));
+                rec.queue_wait_ns = Some(queue_wait_ns);
+                rec.completed_at = Some(ctx.now);
+                self.metrics.counter_inc("tasks_completed", Labels::none());
+                if rec.deadline_ns != 0 && ctx.now.as_nanos() > rec.deadline_ns {
+                    self.metrics.counter_inc("tasks_missed_deadline", Labels::none());
+                }
+                if let Some(&wf_idx) = self.job_to_wf.get(&job_id) {
+                    self.on_wf_task_resolved(ctx, wf_idx, task_id, false);
                 }
             }
             _ => {}
@@ -387,8 +970,9 @@ mod tests {
     use crate::scheduler::SchedulerApp;
     use int_core::rank::StaticDistances;
     use int_core::{CoreConfig, Policy};
-    use int_netsim::{LinkParams, SimConfig, Simulator};
-    use int_workload::{JobKind, TaskClass, TaskSpec};
+    use int_netsim::{FaultPlan, LinkParams, SimConfig, Simulator};
+    use int_packet::msgs::Candidate;
+    use int_workload::{JobKind, TaskClass, TaskSpec, WorkflowSpec, WorkflowTaskSpec};
 
     /// h0 (device) — s2 — h1 (server+scheduler side below)
     ///                \— s3 — h4 (scheduler)
@@ -418,6 +1002,48 @@ mod tests {
                 class: TaskClass::classify_data_kb(data_kb),
             }],
         }
+    }
+
+    /// Test-only scheduler: answers every query with a fixed candidate
+    /// list (possibly empty), no telemetry required.
+    struct StubSchedulerApp {
+        candidates: Vec<Candidate>,
+    }
+
+    impl App for StubSchedulerApp {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            ctx.bind_udp(SCHEDULER_UDP_PORT);
+        }
+
+        fn on_udp(
+            &mut self,
+            ctx: &mut AppCtx<'_>,
+            from: Ipv4Addr,
+            from_port: u16,
+            _to_port: u16,
+            payload: &[u8],
+        ) {
+            let Ok(ControlMsg::SchedRequest { job_id, .. }) =
+                ControlMsg::decode(&mut &payload[..])
+            else {
+                return;
+            };
+            let resp =
+                ControlMsg::SchedResponse { job_id, candidates: self.candidates.clone() };
+            ctx.send_udp(SCHEDULER_UDP_PORT, from, from_port, resp.to_bytes());
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn candidate(node: u32) -> Candidate {
+        Candidate { node, est_delay_ns: 30_000_000, est_bandwidth_bps: 20_000_000 }
     }
 
     #[test]
@@ -478,6 +1104,7 @@ mod tests {
             completion.as_secs_f64() > transfer.as_secs_f64() + 1.0,
             "completion {completion} includes the 1 s execution"
         );
+        assert_eq!(rec.queue_wait_ns, Some(0), "unlimited slots: no queueing");
 
         let ex = sim.app::<TaskExecutorApp>(server, exec).unwrap();
         if rec.server == Some(server.0) {
@@ -560,5 +1187,282 @@ mod tests {
         let used: std::collections::BTreeSet<u32> =
             sub.records.iter().filter_map(|r| r.server).collect();
         assert_eq!(used.len(), 3, "three distinct servers used: {used:?}");
+    }
+
+    #[test]
+    fn run_queue_orders_fifo_and_edf() {
+        let ready = |task_id: u64, deadline_ns: u64, seq: u64| ReadyTask {
+            header: TaskStreamHeader {
+                job_id: 1,
+                task_id,
+                origin: 0,
+                exec_duration_ns: 1,
+                deadline_ns,
+                data_len: 0,
+            },
+            accepted_at: SimTime::ZERO,
+            data_received_at: SimTime::ZERO,
+            seq,
+        };
+
+        // FIFO pops in arrival order regardless of deadlines.
+        let mut q = RunQueue::default();
+        q.push(ready(0, 50, 0));
+        q.push(ready(1, 10, 1));
+        q.push(ready(2, 30, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop(RunQueueOrder::Fifo))
+            .map(|t| t.header.task_id)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+
+        // EDF pops earliest deadline first; 0 (= none) goes last; ties
+        // break by arrival.
+        let mut q = RunQueue::default();
+        q.push(ready(0, 50, 0));
+        q.push(ready(1, 0, 1));
+        q.push(ready(2, 10, 2));
+        q.push(ready(3, 10, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop(RunQueueOrder::Edf))
+            .map(|t| t.header.task_id)
+            .collect();
+        assert_eq!(order, vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn edf_executor_runs_urgent_task_first() {
+        // One single-slot executor; three root tasks released together.
+        // Arrival order (by data size over the shared uplink) is 0, 1, 2,
+        // but task 2's deadline is earlier than task 1's: EDF must run it
+        // first once the slot frees; FIFO must not.
+        let wf = |order: RunQueueOrder| {
+            let (t, device, server, scheduler) = star();
+            let mut sim = Simulator::new(t, SimConfig::default());
+            sim.install_app(
+                scheduler,
+                Box::new(StubSchedulerApp { candidates: vec![candidate(server.0)] }),
+            );
+            let exec = sim.install_app(
+                server,
+                Box::new(TaskExecutorApp::with_config(ExecutorConfig {
+                    slots: 1,
+                    order,
+                    report_load_to: None,
+                })),
+            );
+            let task = |task_id: u64, data_kb: u64, exec_ms: u64, deadline_s: u64| {
+                WorkflowTaskSpec {
+                    task_id,
+                    data_bytes: data_kb * 1000,
+                    exec_ns: exec_ms * 1_000_000,
+                    class: TaskClass::VerySmall,
+                    deadline_ns: deadline_s * 1_000_000_000,
+                    parents: vec![],
+                }
+            };
+            let spec = WorkflowSpec {
+                workflow_id: 1,
+                submitter: device.0,
+                release_at_ns: 1_000_000_000,
+                tasks: vec![
+                    task(0, 50, 10_000, 1000), // runs first, holds the slot 10 s
+                    task(1, 100, 100, 500),    // arrives second, late deadline
+                    task(2, 200, 100, 100),    // arrives third, urgent
+                ],
+            };
+            let submit = sim.install_app(
+                device,
+                Box::new(TaskSubmitterApp::new_workflows(
+                    Topology::host_ip(scheduler),
+                    RankingKind::Delay,
+                    vec![spec],
+                )),
+            );
+            sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+            let sub = sim.app::<TaskSubmitterApp>(device, submit).unwrap();
+            assert!(sub.all_done(), "{:?}", sub.records);
+            let ex = sim.app::<TaskExecutorApp>(server, exec).unwrap();
+            let order: Vec<u64> = ex.executed.iter().map(|e| e.task_id).collect();
+            let waited: Vec<u64> = ex.executed.iter().map(|e| e.queue_wait_ns).collect();
+            (order, waited, sub.records.clone())
+        };
+
+        let (edf_order, edf_waits, records) = wf(RunQueueOrder::Edf);
+        assert_eq!(edf_order, vec![0, 2, 1], "EDF runs the urgent task first");
+        assert_eq!(edf_waits[0], 0, "first task takes the free slot");
+        assert!(edf_waits[1] > 0 && edf_waits[2] > 0, "queued tasks record their wait");
+        // Queue waits propagate to the submitter's records.
+        for r in &records {
+            if r.task_id != 0 {
+                assert!(r.queue_wait_ns.unwrap() > 0, "{r:?}");
+            }
+        }
+
+        let (fifo_order, _, _) = wf(RunQueueOrder::Fifo);
+        assert_eq!(fifo_order, vec![0, 1, 2], "FIFO runs in arrival order");
+    }
+
+    #[test]
+    fn workflow_stages_release_only_after_parents_complete() {
+        let (t, device, server, scheduler) = star();
+        let mut sim = Simulator::new(t, SimConfig::default());
+        sim.install_app(
+            scheduler,
+            Box::new(StubSchedulerApp { candidates: vec![candidate(server.0)] }),
+        );
+        sim.install_app(server, Box::new(TaskExecutorApp::new()));
+        let chain = WorkflowSpec {
+            workflow_id: 7,
+            submitter: device.0,
+            release_at_ns: 1_000_000_000,
+            tasks: (0..3)
+                .map(|task_id| WorkflowTaskSpec {
+                    task_id,
+                    data_bytes: 50_000,
+                    exec_ns: 500_000_000,
+                    class: TaskClass::VerySmall,
+                    deadline_ns: 0,
+                    parents: if task_id == 0 { vec![] } else { vec![task_id - 1] },
+                })
+                .collect(),
+        };
+        let submit = sim.install_app(
+            device,
+            Box::new(TaskSubmitterApp::new_workflows(
+                Topology::host_ip(scheduler),
+                RankingKind::Delay,
+                vec![chain],
+            )),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        let sub = sim.app::<TaskSubmitterApp>(device, submit).unwrap();
+        assert!(sub.all_done(), "{:?}", sub.records);
+        assert_eq!(sub.records.len(), 3);
+        // Records appear in stage order, each dispatched only after the
+        // previous task's completion callback.
+        for w in sub.records.windows(2) {
+            assert!(
+                w[1].dispatched_at.unwrap().as_nanos() >= w[0].completed_at.unwrap().as_nanos(),
+                "child dispatched before its parent completed: {w:?}"
+            );
+        }
+        assert!(sub.records.iter().all(|r| r.workflow_id == Some(7)));
+        // Each stage got its own scheduler query → distinct job ids.
+        let jobs: BTreeSet<u64> = sub.records.iter().map(|r| r.job_id).collect();
+        assert_eq!(jobs.len(), 3);
+    }
+
+    #[test]
+    fn empty_candidates_yield_unplaceable_records() {
+        let (t, device, _server, scheduler) = star();
+        let mut sim = Simulator::new(t, SimConfig::default());
+        // An all-excluded map: the stub scheduler answers with no
+        // candidates at all.
+        sim.install_app(scheduler, Box::new(StubSchedulerApp { candidates: vec![] }));
+        let mut sub_app = TaskSubmitterApp::new(
+            Topology::host_ip(scheduler),
+            RankingKind::Delay,
+            vec![job(1, device.0, 1, 100, 500)],
+        );
+        sub_app.set_metrics_enabled(true);
+        let submit = sim.install_app(device, Box::new(sub_app));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+
+        let sub = sim.app::<TaskSubmitterApp>(device, submit).unwrap();
+        assert_eq!(sub.records.len(), 1, "the planned task is accounted for");
+        let rec = &sub.records[0];
+        assert_eq!(rec.fail_reason, Some(FailReason::Unplaceable));
+        assert!(rec.failed_at.is_some());
+        assert_eq!(rec.server, None);
+        assert_eq!(rec.dispatched_at, None);
+        assert!(sub.all_done(), "unplaceable tasks resolve all_done");
+        assert_eq!(sub.metrics().counter("tasks_unplaceable", Labels::none()), 1);
+    }
+
+    #[test]
+    fn completion_timeout_unwedges_a_faulted_transfer() {
+        // A 5 MB stream over a ~20 Mbit/s path takes ~2 s; the server's
+        // link is cut 1 s into the transfer. The transport retries forever
+        // and the executor never sees a close — without the timeout the
+        // submitter would wait for the completion callback indefinitely.
+        let (t, device, server, scheduler) = star();
+        let mut sim = Simulator::new(t.clone(), SimConfig::default());
+        sim.install_app(
+            scheduler,
+            Box::new(StubSchedulerApp { candidates: vec![candidate(server.0)] }),
+        );
+        let exec = sim.install_app(server, Box::new(TaskExecutorApp::new()));
+        let mut sub_app = TaskSubmitterApp::new(
+            Topology::host_ip(scheduler),
+            RankingKind::Delay,
+            vec![job(1, device.0, 2, 5000, 500)],
+        )
+        .with_completion_timeout(SimDuration::from_secs(10));
+        sub_app.set_metrics_enabled(true);
+        let submit = sim.install_app(device, Box::new(sub_app));
+
+        // The star's switch is the node right after device and server.
+        let switch = NodeId(2);
+        sim.install_fault_plan(&FaultPlan::new().link_down(
+            server,
+            switch,
+            SimTime::ZERO + SimDuration::from_secs(3),
+        ));
+
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        let sub = sim.app::<TaskSubmitterApp>(device, submit).unwrap();
+        assert!(sub.all_done(), "the timeout resolves the record: {:?}", sub.records);
+        let rec = &sub.records[0];
+        assert_eq!(rec.fail_reason, Some(FailReason::Timeout));
+        assert!(rec.failed_at.is_some());
+        assert!(rec.completed_at.is_none());
+        // Timeout armed at dispatch (~2 s): fires ~12 s, well before the
+        // 30 s horizon.
+        assert!(rec.failed_at.unwrap().as_nanos() < 15_000_000_000);
+        assert_eq!(sub.metrics().counter("tasks_failed_timeout", Labels::none()), 1);
+        // The executor never saw the payload complete.
+        let ex = sim.app::<TaskExecutorApp>(server, exec).unwrap();
+        assert!(ex.executed.is_empty());
+    }
+
+    #[test]
+    fn failed_parent_cascades_to_descendants() {
+        // Chain 0 → 1 → 2 where task 0 is unplaceable: 1 and 2 must be
+        // terminally failed (ParentFailed) so the workflow still resolves.
+        let (t, device, _server, scheduler) = star();
+        let mut sim = Simulator::new(t, SimConfig::default());
+        sim.install_app(scheduler, Box::new(StubSchedulerApp { candidates: vec![] }));
+        let chain = WorkflowSpec {
+            workflow_id: 3,
+            submitter: device.0,
+            release_at_ns: 1_000_000_000,
+            tasks: (0..3)
+                .map(|task_id| WorkflowTaskSpec {
+                    task_id,
+                    data_bytes: 10_000,
+                    exec_ns: 100_000_000,
+                    class: TaskClass::VerySmall,
+                    deadline_ns: 0,
+                    parents: if task_id == 0 { vec![] } else { vec![task_id - 1] },
+                })
+                .collect(),
+        };
+        let submit = sim.install_app(
+            device,
+            Box::new(TaskSubmitterApp::new_workflows(
+                Topology::host_ip(scheduler),
+                RankingKind::Delay,
+                vec![chain],
+            )),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let sub = sim.app::<TaskSubmitterApp>(device, submit).unwrap();
+        assert!(sub.all_done(), "{:?}", sub.records);
+        assert_eq!(sub.records.len(), 3);
+        let reasons: Vec<FailReason> =
+            sub.records.iter().map(|r| r.fail_reason.unwrap()).collect();
+        assert_eq!(
+            reasons,
+            vec![FailReason::Unplaceable, FailReason::ParentFailed, FailReason::ParentFailed]
+        );
     }
 }

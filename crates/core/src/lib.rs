@@ -43,6 +43,7 @@ pub mod snapshot;
 pub mod tuning;
 
 pub use collector::IntCollector;
+pub use compute::{Capabilities, CompositePolicy, ComputeTracker};
 pub use config::CoreConfig;
 pub use estimate::{BandwidthEstimator, DelayEstimator};
 pub use map::{EdgeState, NetNode, NetworkMap};

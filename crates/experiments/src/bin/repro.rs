@@ -8,6 +8,7 @@
 //! repro fig8                # ECDF of per-task gain
 //! repro fig9                # probing-interval sweep
 //! repro failover            # link-failure detection & rescheduling
+//! repro workflow            # deadline-aware DAG workflows, composite policies
 //! repro audit               # instrumented failover cells + decision audit trail
 //! repro ablation-k          # conversion-factor sweep
 //! repro ablation-maxq       # queue-signal ablation
@@ -23,7 +24,7 @@
 
 use int_experiments::{
     ablation, audit, failover, fig3, fig5, fig6, fig7, fig8, fig9, overhead, report, sustained,
-    tab1,
+    tab1, workflow,
 };
 use int_netsim::SimDuration;
 use std::time::Instant;
@@ -61,15 +62,15 @@ fn main() {
     }
 
     let Some(cmd) = cmd else {
-        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|failover|audit|overhead|ablation-k|ablation-maxq|ext-compute|sustained> [--seed N] [--scale F]");
+        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|failover|workflow|audit|overhead|ablation-k|ablation-maxq|ext-compute|sustained> [--seed N] [--scale F]");
         std::process::exit(2);
     };
 
     match cmd.as_str() {
         "all" => {
             for c in [
-                "tab1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "failover", "audit",
-                "overhead", "ablation-k", "ablation-maxq", "ext-compute", "sustained",
+                "tab1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "failover", "workflow",
+                "audit", "overhead", "ablation-k", "ablation-maxq", "ext-compute", "sustained",
             ] {
                 run_one(c, &opts);
             }
@@ -149,6 +150,22 @@ fn run_one(cmd: &str, opts: &Opts) {
             let out = failover::run_sweep(opts.seed, &ivs);
             println!("{}", failover::render(&out));
             save("failover", &out);
+        }
+        "workflow" => {
+            let out = workflow::run_sweep(opts.seed, opts.scale);
+            println!("{}", workflow::render(&out));
+            let wins = out.cells_where_intedf_wins();
+            println!(
+                "IntEdf beats NetworkOnly and LeastLoaded on miss rate in {} of {} slack cells{}",
+                wins.len(),
+                workflow::SLACK_CELLS.len(),
+                if wins.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({:?}%)", wins)
+                }
+            );
+            save("workflow", &out);
         }
         "audit" => {
             // Same --scale handling as failover: trim the interval grid.

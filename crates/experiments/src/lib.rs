@@ -13,6 +13,7 @@
 //! | [`fig8`] | Fig. 8 — ECDF of per-task gain |
 //! | [`fig9`] | Fig. 9 — probing-interval sensitivity |
 //! | [`failover`] | link-failure detection & rescheduling (failure model, §"future work") |
+//! | [`workflow`] | deadline-aware DAG workflows under scarce compute (§"future work") |
 //! | [`audit`] | instrumented failover cells exporting the decision audit trail |
 //! | [`ablation`] | max-vs-instantaneous queue signal, k sweep, compute-aware |
 //! | [`overhead`] | probing overhead vs per-packet INT padding (§III-A) |
@@ -40,6 +41,7 @@ pub mod stats;
 pub mod sustained;
 pub mod tab1;
 pub mod testbed;
+pub mod workflow;
 
 pub use runner::{ExperimentConfig, ExperimentResult, TaskOutcome};
 pub use testbed::Testbed;

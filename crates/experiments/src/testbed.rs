@@ -10,10 +10,11 @@
 //! switches and are therefore each other's nearest nodes at 3 hops.
 
 use int_apps::{
-    EchoResponderApp, ProbeRelayApp, ProbeSenderApp, SchedulerApp, TaskExecutorApp, UdpSinkApp,
+    EchoResponderApp, ExecutorConfig, ProbeRelayApp, ProbeSenderApp, RunQueueOrder, SchedulerApp,
+    TaskExecutorApp, UdpSinkApp,
 };
 use int_core::rank::StaticDistances;
-use int_core::{CoreConfig, Policy};
+use int_core::{CompositePolicy, CoreConfig, Policy};
 use int_netsim::{
     LinkParams, NodeId, SimConfig, SimDuration, Simulator, Topology,
 };
@@ -78,6 +79,20 @@ pub struct TestbedConfig {
     pub int_enabled: bool,
     /// Probe coverage scheme.
     pub probe_mode: ProbeMode,
+    /// Parallel execution slots per executor (default: effectively
+    /// unlimited, the paper's network-isolated evaluation).
+    pub executor_slots: u32,
+    /// Run-queue discipline once executor slots are all busy.
+    pub executor_order: RunQueueOrder,
+    /// Executors push `LoadReport`s to the scheduler when their
+    /// outstanding count changes.
+    pub executor_report_load: bool,
+    /// Compute-aware composite re-ranking at the scheduler (the workflow
+    /// experiment's policy axis); `None` leaves the base policy's order.
+    pub compute_policy: Option<CompositePolicy>,
+    /// Execution-time estimate the scheduler uses to convert backlog into
+    /// queue wait, ns.
+    pub exec_est_ns: u64,
 }
 
 impl Default for TestbedConfig {
@@ -91,6 +106,11 @@ impl Default for TestbedConfig {
             queue_cap_pkts: 128,
             int_enabled: true,
             probe_mode: ProbeMode::AllPairs,
+            executor_slots: u32::MAX,
+            executor_order: RunQueueOrder::Fifo,
+            executor_report_load: false,
+            compute_policy: None,
+            exec_est_ns: 1_000_000_000,
         }
     }
 }
@@ -194,7 +214,12 @@ impl Testbed {
                     }
                 }
             }
-            let exec = sim.install_app(h, Box::new(TaskExecutorApp::new()));
+            let exec_cfg = ExecutorConfig {
+                slots: cfg.executor_slots,
+                order: cfg.executor_order,
+                report_load_to: cfg.executor_report_load.then_some(scheduler_ip),
+            };
+            let exec = sim.install_app(h, Box::new(TaskExecutorApp::with_config(exec_cfg)));
             executor_app.push(exec);
             sim.install_app(h, Box::new(UdpSinkApp::new(int_apps::iperf::IPERF_UDP_PORT)));
             sim.install_app(h, Box::new(EchoResponderApp::new()));
@@ -203,9 +228,16 @@ impl Testbed {
         // Pre-register every host as a candidate: the baselines run with
         // INT disabled and would otherwise never learn the fleet.
         let host_ids: Vec<u32> = hosts.iter().map(|h| h.0).collect();
-        sim.app_mut::<SchedulerApp>(scheduler, scheduler_app)
-            .expect("scheduler app just installed")
-            .register_hosts(&host_ids);
+        let sched = sim
+            .app_mut::<SchedulerApp>(scheduler, scheduler_app)
+            .expect("scheduler app just installed");
+        sched.register_hosts(&host_ids);
+        if let Some(composite) = cfg.compute_policy {
+            sched.set_compute(composite, cfg.exec_est_ns);
+            for &h in &host_ids {
+                sched.register_executor(h, cfg.executor_slots);
+            }
+        }
 
         Testbed { sim, hosts, switches, scheduler, scheduler_app, executor_app }
     }

@@ -100,6 +100,18 @@ pub enum ControlMsg {
         /// Server-side time at which the task's input data had fully
         /// arrived, ns — lets the submitter compute the transfer time.
         data_received_ts_ns: u64,
+        /// Time the task spent in the executor's run queue waiting for a
+        /// free slot, ns (0 when a slot was free on arrival).
+        queue_wait_ns: u64,
+    },
+    /// Edge server → scheduler: outstanding-task count changed. Keeps the
+    /// scheduler's [`ComputeTracker`](../../int_core/compute/struct.ComputeTracker.html)
+    /// load view current for the composite (load-aware) policies.
+    LoadReport {
+        /// Reporting edge server.
+        host: u32,
+        /// Tasks currently running or queued on that server.
+        outstanding: u32,
     },
     /// Ping echo request.
     EchoRequest {
@@ -122,13 +134,15 @@ const TAG_SCHED_RESPONSE: u8 = 2;
 const TAG_TASK_DONE: u8 = 3;
 const TAG_ECHO_REQUEST: u8 = 4;
 const TAG_ECHO_REPLY: u8 = 5;
+const TAG_LOAD_REPORT: u8 = 6;
 
 impl WireEncode for ControlMsg {
     fn encoded_len(&self) -> usize {
         1 + match self {
             ControlMsg::SchedRequest { .. } => 4 + 8 + 1 + 1,
             ControlMsg::SchedResponse { candidates, .. } => 8 + 2 + candidates.len() * Candidate::LEN,
-            ControlMsg::TaskDone { .. } => 8 + 8 + 4 + 8,
+            ControlMsg::TaskDone { .. } => 8 + 8 + 4 + 8 + 8,
+            ControlMsg::LoadReport { .. } => 4 + 4,
             ControlMsg::EchoRequest { .. } | ControlMsg::EchoReply { .. } => 8 + 8,
         }
     }
@@ -151,12 +165,18 @@ impl WireEncode for ControlMsg {
                     c.encode(buf);
                 }
             }
-            ControlMsg::TaskDone { job_id, task_id, executed_on, data_received_ts_ns } => {
+            ControlMsg::TaskDone { job_id, task_id, executed_on, data_received_ts_ns, queue_wait_ns } => {
                 buf.put_u8(TAG_TASK_DONE);
                 buf.put_u64(*job_id);
                 buf.put_u64(*task_id);
                 buf.put_u32(*executed_on);
                 buf.put_u64(*data_received_ts_ns);
+                buf.put_u64(*queue_wait_ns);
+            }
+            ControlMsg::LoadReport { host, outstanding } => {
+                buf.put_u8(TAG_LOAD_REPORT);
+                buf.put_u32(*host);
+                buf.put_u32(*outstanding);
             }
             ControlMsg::EchoRequest { seq, ts_ns } => {
                 buf.put_u8(TAG_ECHO_REQUEST);
@@ -197,13 +217,18 @@ impl WireDecode for ControlMsg {
                 Ok(ControlMsg::SchedResponse { job_id, candidates })
             }
             TAG_TASK_DONE => {
-                need(buf, "task done", 8 + 8 + 4 + 8)?;
+                need(buf, "task done", 8 + 8 + 4 + 8 + 8)?;
                 Ok(ControlMsg::TaskDone {
                     job_id: buf.get_u64(),
                     task_id: buf.get_u64(),
                     executed_on: buf.get_u32(),
                     data_received_ts_ns: buf.get_u64(),
+                    queue_wait_ns: buf.get_u64(),
                 })
+            }
+            TAG_LOAD_REPORT => {
+                need(buf, "load report", 4 + 4)?;
+                Ok(ControlMsg::LoadReport { host: buf.get_u32(), outstanding: buf.get_u32() })
             }
             TAG_ECHO_REQUEST => {
                 need(buf, "echo request", 16)?;
@@ -231,13 +256,16 @@ pub struct TaskStreamHeader {
     pub origin: u32,
     /// Simulated execution duration once the data has fully arrived, ns.
     pub exec_duration_ns: u64,
+    /// Absolute completion deadline, ns since simulation epoch (0 = no
+    /// deadline). EDF executors order their run queues by this.
+    pub deadline_ns: u64,
     /// Number of payload bytes following this header.
     pub data_len: u64,
 }
 
 impl TaskStreamHeader {
     /// Wire size.
-    pub const LEN: usize = 8 + 8 + 4 + 8 + 8;
+    pub const LEN: usize = 8 + 8 + 4 + 8 + 8 + 8;
 }
 
 impl WireEncode for TaskStreamHeader {
@@ -250,6 +278,7 @@ impl WireEncode for TaskStreamHeader {
         buf.put_u64(self.task_id);
         buf.put_u32(self.origin);
         buf.put_u64(self.exec_duration_ns);
+        buf.put_u64(self.deadline_ns);
         buf.put_u64(self.data_len);
     }
 }
@@ -262,6 +291,7 @@ impl WireDecode for TaskStreamHeader {
             task_id: buf.get_u64(),
             origin: buf.get_u32(),
             exec_duration_ns: buf.get_u64(),
+            deadline_ns: buf.get_u64(),
             data_len: buf.get_u64(),
         })
     }
@@ -298,7 +328,9 @@ mod tests {
             task_id: 2,
             executed_on: 8,
             data_received_ts_ns: 123_456,
+            queue_wait_ns: 42_000,
         });
+        roundtrip(ControlMsg::LoadReport { host: 3, outstanding: 17 });
         roundtrip(ControlMsg::EchoRequest { seq: 7, ts_ns: 1234 });
         roundtrip(ControlMsg::EchoReply { seq: 7, ts_ns: 1234 });
     }
@@ -334,6 +366,7 @@ mod tests {
             task_id: 2,
             origin: 4,
             exec_duration_ns: 5_000_000_000,
+            deadline_ns: 20_000_000_000,
             data_len: 3_200_000,
         };
         let bytes = h.to_bytes();

@@ -10,7 +10,9 @@
 pub mod background;
 pub mod gen;
 pub mod spec;
+pub mod workflow;
 
 pub use background::{BackgroundScenario, BgFlow};
 pub use gen::{WorkloadConfig, WorkloadGenerator};
 pub use spec::{JobKind, JobSpec, TaskClass, TaskSpec};
+pub use workflow::{DagShape, WorkflowConfig, WorkflowGenerator, WorkflowSpec, WorkflowTaskSpec};

@@ -80,6 +80,25 @@ echo "== shard stress (publish/read races)"
 RUSTFLAGS="--cfg shard_stress --check-cfg=cfg(shard_stress)" \
     cargo test --release -q --test shard_determinism
 
+echo "== workflow (smoke)"
+# Tiny deadline-aware DAG sweep: every composite-policy cell must be
+# present with its task accounting and observability counters, and the
+# artifact must be byte-identical across worker counts.
+wf_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$nocache_dir" "$one_dir" "$many_dir" "$wf_dir"' EXIT
+INT_RESULTS_DIR="$smoke_dir" INT_EXP_THREADS=1 \
+    cargo run --release -q -p int-experiments --bin repro -- workflow --seed 1 --scale 0.25
+INT_RESULTS_DIR="$wf_dir" INT_EXP_THREADS=4 \
+    cargo run --release -q -p int-experiments --bin repro -- workflow --seed 1 --scale 0.25
+cmp "$smoke_dir/workflow.json" "$wf_dir/workflow.json" \
+    || { echo "workflow smoke: INT_EXP_THREADS changed the artifact"; exit 1; }
+for key in '"policy": "NetworkOnly"' '"policy": "LeastLoaded"' '"policy": "IntLeastLoaded"' \
+           '"policy": "IntEdf"' '"miss_rate"' '"queue_wait_mean_ms"' '"makespan_mean_s"' \
+           '"tasks_dispatched"' '"sched_load_reports"'; do
+    grep -q "$key" "$smoke_dir/workflow.json" \
+        || { echo "workflow smoke: $key missing from artifact"; exit 1; }
+done
+
 echo "== audit export (smoke)"
 # Tiny instrumented cell: the exported artifact and both embedded JSON
 # documents (decision audit trail, metrics snapshot) must parse, and the

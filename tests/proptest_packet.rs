@@ -131,8 +131,9 @@ proptest! {
             },
             ControlMsg::TaskDone {
                 job_id: job, task_id: n as u64, executed_on: requester,
-                data_received_ts_ns: job,
+                data_received_ts_ns: job, queue_wait_ns: job ^ 0xFF,
             },
+            ControlMsg::LoadReport { host: requester, outstanding: n as u32 },
         ];
         for m in msgs {
             let bytes = m.to_bytes();
@@ -142,8 +143,8 @@ proptest! {
     }
 
     #[test]
-    fn task_header_roundtrips(j in any::<u64>(), t in any::<u64>(), o in any::<u32>(), e in any::<u64>(), d in any::<u64>()) {
-        let h = TaskStreamHeader { job_id: j, task_id: t, origin: o, exec_duration_ns: e, data_len: d };
+    fn task_header_roundtrips(j in any::<u64>(), t in any::<u64>(), o in any::<u32>(), e in any::<u64>(), dl in any::<u64>(), d in any::<u64>()) {
+        let h = TaskStreamHeader { job_id: j, task_id: t, origin: o, exec_duration_ns: e, deadline_ns: dl, data_len: d };
         prop_assert_eq!(TaskStreamHeader::decode(&mut &h.to_bytes()[..]).unwrap(), h);
     }
 
