@@ -22,6 +22,12 @@ const TIMER_SEND: u64 = 1;
 pub struct ProbeSenderApp {
     targets: Vec<Ipv4Addr>,
     interval: SimDuration,
+    /// Probes per target per interval, each from a distinct UDP source
+    /// port (`41000 + j`). Under flow-hash ECMP each source port hashes to
+    /// a different equal-cost path, so one interval refreshes telemetry on
+    /// up to `fan` distinct paths per target — the Paris-traceroute idiom.
+    /// Default 1 = the paper's single-path probing.
+    fan: u16,
     next_seq: u64,
     sent: u64,
 }
@@ -30,6 +36,10 @@ impl ProbeSenderApp {
     /// The paper's default probing interval.
     pub const DEFAULT_INTERVAL: SimDuration = SimDuration::from_millis(100);
 
+    /// Base UDP source port for probe emission; fanned probes use
+    /// consecutive ports above it.
+    pub const BASE_SRC_PORT: u16 = 41000;
+
     /// Probe `scheduler` every `interval` (the paper's scheme).
     pub fn new(scheduler: Ipv4Addr, interval: SimDuration) -> Self {
         Self::new_multi(vec![scheduler], interval)
@@ -37,9 +47,17 @@ impl ProbeSenderApp {
 
     /// Probe every target each `interval` (all-pairs mode).
     pub fn new_multi(targets: Vec<Ipv4Addr>, interval: SimDuration) -> Self {
+        Self::new_fanned(targets, interval, 1)
+    }
+
+    /// Probe every target `fan` times each interval, varying the UDP
+    /// source port per copy so flow-hash ECMP spreads the copies across
+    /// equal-cost paths.
+    pub fn new_fanned(targets: Vec<Ipv4Addr>, interval: SimDuration, fan: u16) -> Self {
         assert!(interval.as_nanos() > 0, "zero probing interval");
         assert!(!targets.is_empty(), "probe sender needs at least one target");
-        ProbeSenderApp { targets, interval, next_seq: 0, sent: 0 }
+        assert!(fan >= 1, "probe fan must be at least 1");
+        ProbeSenderApp { targets, interval, fan, next_seq: 0, sent: 0 }
     }
 
     /// Probes sent so far.
@@ -49,10 +67,17 @@ impl ProbeSenderApp {
 
     fn send_probe(&mut self, ctx: &mut AppCtx<'_>) {
         for i in 0..self.targets.len() {
-            let probe = ProbePayload::new(ctx.node.0, self.next_seq, ctx.now.as_nanos());
-            self.next_seq += 1;
-            self.sent += 1;
-            ctx.send_udp(41000, self.targets[i], PROBE_UDP_PORT, probe.to_bytes());
+            for j in 0..self.fan {
+                let probe = ProbePayload::new(ctx.node.0, self.next_seq, ctx.now.as_nanos());
+                self.next_seq += 1;
+                self.sent += 1;
+                ctx.send_udp(
+                    Self::BASE_SRC_PORT + j,
+                    self.targets[i],
+                    PROBE_UDP_PORT,
+                    probe.to_bytes(),
+                );
+            }
         }
         ctx.set_timer(self.interval, TIMER_SEND);
     }
@@ -221,6 +246,74 @@ mod tests {
     #[should_panic(expected = "zero probing interval")]
     fn zero_interval_rejected() {
         ProbeSenderApp::new(Ipv4Addr::new(10, 0, 0, 1), SimDuration::ZERO);
+    }
+
+    /// Records the UDP source port of every probe that arrives.
+    struct PortRecorder {
+        ports: Vec<u16>,
+    }
+
+    impl App for PortRecorder {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            ctx.bind_udp(PROBE_UDP_PORT);
+        }
+        fn on_udp(
+            &mut self,
+            _ctx: &mut AppCtx<'_>,
+            _from: Ipv4Addr,
+            from_port: u16,
+            _to_port: u16,
+            _payload: &[u8],
+        ) {
+            self.ports.push(from_port);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// A fanned sender emits `fan` copies per target per interval, each
+    /// from a consecutive source port above BASE_SRC_PORT — the knob
+    /// flow-hash ECMP uses to spread copies over equal-cost paths.
+    #[test]
+    fn fanned_probes_use_distinct_source_ports() {
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1");
+        let s1 = t.add_switch("s1");
+        let h2 = t.add_host("h2");
+        t.add_link(h1, s1, LinkParams::paper_default());
+        t.add_link(s1, h2, LinkParams::paper_default());
+
+        let mut sim = Simulator::new(t, SimConfig::default());
+        let idx = sim.install_app(
+            h1,
+            Box::new(ProbeSenderApp::new_fanned(
+                vec![Topology::host_ip(h2)],
+                SimDuration::from_millis(100),
+                3,
+            )),
+        );
+        let rec = sim.install_app(h2, Box::new(PortRecorder { ports: Vec::new() }));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+
+        let sent = sim.app::<ProbeSenderApp>(h1, idx).unwrap().sent();
+        assert!((30..=33).contains(&sent), "~10 rounds × fan 3: {sent}");
+        let ports = &sim.app::<PortRecorder>(h2, rec).unwrap().ports;
+        assert!(ports.len() >= 27, "{}", ports.len());
+        let base = ProbeSenderApp::BASE_SRC_PORT;
+        for j in 0..3u16 {
+            assert!(ports.contains(&(base + j)), "missing fan port {}", base + j);
+        }
+        assert!(ports.iter().all(|p| (base..base + 3).contains(p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probe fan must be at least 1")]
+    fn zero_fan_rejected() {
+        ProbeSenderApp::new_fanned(vec![Ipv4Addr::new(10, 0, 0, 1)], SimDuration::from_millis(100), 0);
     }
 }
 

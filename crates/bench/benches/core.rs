@@ -137,6 +137,44 @@ fn bench_rank_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// A multipath leaf–spine map: every host pair is learned over `spines`
+/// alternate 2-switch chains (one per spine), so k-path ranking has real
+/// equal-cost diversity to rank over.
+fn multipath_map(hosts: u32, spines: u32) -> NetworkMap {
+    let mut m = NetworkMap::new();
+    for h in 0..hosts {
+        for s in 0..spines {
+            let chain = [100 + h % 32, 200 + s];
+            m.apply_probe(&probe_through(h, &chain, (h + s) % 8), 1000, 50_000_000);
+            let rev: Vec<u32> = chain.iter().rev().copied().collect();
+            m.apply_probe(&probe_through(1000, &rev, (h + s) % 5), h, 50_000_000);
+        }
+    }
+    m
+}
+
+/// The PR 8 headline: steady-state rank throughput when every candidate
+/// is priced over k equal-cost paths instead of one — the ECMP fabric's
+/// query cost. Same long-lived-ranker shape as `rank_throughput`, so the
+/// k = 1 rows there are the direct baseline.
+fn bench_rank_throughput_kpaths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank_throughput_kpaths");
+    let m = multipath_map(128, 4);
+    let candidates: Vec<u32> = (0..128).collect();
+    for k in [1u32, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("fabric_mp_128h", k), &k, |b, &k| {
+            let cfg = CoreConfig { k_paths: k, ..CoreConfig::default() };
+            let mut r = Ranker::new(cfg, StaticDistances::new(), 1);
+            let mut out = Vec::new();
+            b.iter(|| {
+                r.rank_into(&m, 1000, &candidates, Policy::IntDelay, 50_000_000, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    g.finish();
+}
+
 /// The PR 6 headline: aggregate rank throughput of the sharded,
 /// snapshot-based control plane at 1/2/4/8 read workers. One epoch is
 /// published up front (steady state between probe rounds); each
@@ -201,6 +239,7 @@ criterion_group!(
     bench_delay_estimate,
     bench_ranking,
     bench_rank_throughput,
+    bench_rank_throughput_kpaths,
     bench_rank_throughput_mt
 );
 criterion_main!(benches);

@@ -274,10 +274,32 @@ fn bench_tcp_transfer(c: &mut Criterion) {
     g.finish();
 }
 
+/// Fabric control-plane build cost: generate a quarter-scale datacenter
+/// Clos (128 switches, 240 hosts), then stand up the simulator — all-pairs
+/// Dijkstra, per-switch LPM route install (240 host routes × 128 tables,
+/// ECMP groups interned), and the per-host multipath uplink memo. This is
+/// the fixed cost every fabric experiment cell pays before the first
+/// event fires.
+fn bench_fabric_build(c: &mut Criterion) {
+    use int_netsim::ClosParams;
+    let mut g = c.benchmark_group("fabric_build");
+    g.sample_size(10);
+    let params = ClosParams::datacenter().scaled(0.25);
+    g.bench_function("clos_128s_240h", |b| {
+        b.iter(|| {
+            let fab = params.build();
+            let sim = Simulator::new(fab.topo, SimConfig::default());
+            black_box(sim.now())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_event_queue_far,
+    bench_fabric_build,
     bench_packet_throughput,
     bench_packet_throughput_observed,
     bench_timer_heavy,

@@ -80,10 +80,21 @@ pub struct CoreConfig {
     /// diverge on unmeasured links.
     #[serde(default = "default_unmeasured_delay_ns")]
     pub unmeasured_delay_ns: u64,
+    /// Number of candidate paths the ranking engine prices per host pair
+    /// (k-shortest by successive edge exclusion). 1 (the default) is the
+    /// paper's single delay-weighted route; fabrics with ECMP set this to
+    /// the spread probes cover so the ranker can pick the best of the
+    /// per-path estimates.
+    #[serde(default = "default_k_paths")]
+    pub k_paths: u32,
 }
 
 fn default_unmeasured_delay_ns() -> u64 {
     10_000_000 // 10 ms, comfortably worse than any measured testbed link
+}
+
+fn default_k_paths() -> u32 {
+    1
 }
 
 impl Default for CoreConfig {
@@ -100,6 +111,7 @@ impl Default for CoreConfig {
             eviction_horizon_ns: 10_000_000_000, // 10 s ≈ 100 default intervals
             origin_silence_ns: 3_000_000_000,    // 3 s ≈ 30 default intervals
             unmeasured_delay_ns: default_unmeasured_delay_ns(),
+            k_paths: default_k_paths(),
         }
     }
 }

@@ -27,9 +27,12 @@ pub struct DelayBreakdown {
 }
 
 impl DelayBreakdown {
-    /// Total estimated one-way delay, ns.
+    /// Total estimated one-way delay, ns. Saturating: on a long Clos path
+    /// the two sums can each approach `u64::MAX` (the per-hop penalty is
+    /// `k · Q` with k = 20 ms), and a wrapping total would rank a
+    /// saturated path *best* instead of worst.
     pub fn total_ns(&self) -> u64 {
-        self.link_delay_ns + self.hop_delay_ns
+        self.link_delay_ns.saturating_add(self.hop_delay_ns)
     }
 }
 
@@ -83,17 +86,22 @@ impl DelayEstimator {
         let mut links = 0usize;
         let mut hops = 0usize;
 
+        // All sums saturate: 8+-hop fabric paths of near-sentinel samples
+        // (an unrefreshed edge can legitimately carry a huge EWMA'd delay)
+        // must pin at `u64::MAX`, not wrap around to "nearby".
         for w in path.windows(2) {
             let (a, b) = (w[0], w[1]);
             // Unmeasured links contribute the configured nominal delay —
             // the same value `NetworkMap::path` uses as traversal weight,
             // so routing and estimation cannot diverge on warm-up links.
-            link_delay_ns +=
-                map.effective_delay_ns(&self.cfg, a, b).unwrap_or(self.cfg.unmeasured_delay_ns);
+            link_delay_ns = link_delay_ns.saturating_add(
+                map.effective_delay_ns(&self.cfg, a, b).unwrap_or(self.cfg.unmeasured_delay_ns),
+            );
             links += 1;
             if matches!(a, NetNode::Switch(_)) {
                 let q = map.effective_qlen(&self.cfg, a, b, now_ns);
-                hop_delay_ns += self.cfg.k_ns_per_pkt * q as u64;
+                hop_delay_ns =
+                    hop_delay_ns.saturating_add(self.cfg.k_ns_per_pkt.saturating_mul(q as u64));
                 hops += 1;
             }
         }
@@ -286,5 +294,68 @@ mod tests {
         assert_eq!(d.link_delay_ns, 90_000_000, "3 × 30 ms measured links");
         let p = m.path(&cfg, NetNode::Host(1), NetNode::Host(6)).unwrap();
         assert!(p.contains(&NetNode::Switch(10)), "{p:?}");
+    }
+
+    /// Satellite regression for long Clos paths: the per-link and per-hop
+    /// accumulators used to wrap on 8+-hop paths whose links carry
+    /// near-`u64::MAX` delay samples, ranking the worst path as nearly
+    /// free. Saturating arithmetic must pin the total at the ceiling.
+    #[test]
+    fn long_path_with_saturated_links_pins_at_max_instead_of_wrapping() {
+        let mut m = NetworkMap::new();
+        // A 9-switch chain, every link at u64::MAX/4 ns and every egress
+        // queue deeply congested: both accumulators overflow u64 if summed
+        // naively.
+        let mut p = ProbePayload::new(1, 1, 0);
+        for sw in 10u32..19 {
+            p.int.push(IntRecord {
+                switch_id: sw,
+                ingress_port: 0,
+                egress_port: 1,
+                max_qlen_pkts: u32::MAX,
+                qlen_at_probe_pkts: 0,
+                link_latency_ns: u64::MAX / 4,
+                egress_ts_ns: 11_000_000,
+            });
+        }
+        m.apply_probe(&p, 6, 32_000_000);
+
+        // Dijkstra refuses paths whose distance saturates, but the k-path
+        // machinery prices explicitly supplied node sequences with
+        // `estimate_along` — that walk must saturate, not wrap.
+        let mut path = vec![NetNode::Host(1)];
+        path.extend((10u32..19).map(NetNode::Switch));
+        path.push(NetNode::Host(6));
+        let est = DelayEstimator::new(CoreConfig::default());
+        let d = est.estimate_along(&m, &path, 32_000_000);
+        assert_eq!(d.links, 10);
+        assert_eq!(d.link_delay_ns, u64::MAX, "4+ links at MAX/4 saturate");
+        assert_eq!(d.total_ns(), u64::MAX, "total saturates too");
+
+        // A short, cheap path must still rank strictly better than the
+        // saturated one — the property overflow used to violate.
+        let mut m2 = NetworkMap::new();
+        let mut q = ProbePayload::new(1, 1, 0);
+        q.int.push(rec(10, 0, 11));
+        m2.apply_probe(&q, 6, 21_000_000);
+        let cheap =
+            est.estimate(&m2, NetNode::Host(1), NetNode::Host(6), 21_000_000).unwrap().total_ns();
+        assert!(cheap < d.total_ns());
+    }
+
+    #[test]
+    fn hop_penalty_saturates_per_hop_multiply() {
+        // k_ns_per_pkt × qlen alone can overflow; the multiply itself must
+        // saturate, not just the running sum.
+        let cfg = CoreConfig { k_ns_per_pkt: u64::MAX / 2, ..CoreConfig::default() };
+        let mut m = NetworkMap::new();
+        let mut p = ProbePayload::new(1, 1, 0);
+        p.int.push(rec(10, 3, 11));
+        p.int.push(rec(11, 3, 22));
+        m.apply_probe(&p, 6, 32_000_000);
+        let est = DelayEstimator::new(cfg);
+        let d = est.estimate(&m, NetNode::Host(6), NetNode::Host(1), 32_000_000).unwrap();
+        assert_eq!(d.hop_delay_ns, u64::MAX);
+        assert_eq!(d.total_ns(), u64::MAX);
     }
 }

@@ -238,7 +238,11 @@ impl NetworkMap {
         e.delay_ns = if e.samples == 0 {
             sample_ns
         } else {
-            ((8 - w) * e.delay_ns + w * sample_ns) / 8
+            // Widen before multiplying: `(8 - w) * delay_ns` overflows u64
+            // once the smoothed delay passes ~2.6e18 ns, which long Clos
+            // paths with saturated estimates can legitimately reach.
+            let blended = ((8 - w) as u128 * e.delay_ns as u128 + w as u128 * sample_ns as u128) / 8;
+            blended.min(u64::MAX as u128) as u64
         };
         e.samples += 1;
         e.updated_ns = now_ns;
@@ -381,6 +385,20 @@ impl NetworkMap {
     /// byte-for-byte (pinned by the oracle proptest). Keep the two in
     /// lockstep when changing traversal semantics.
     pub fn path(&self, cfg: &CoreConfig, from: NetNode, to: NetNode) -> Option<Vec<NetNode>> {
+        self.path_banned(cfg, from, to, &BTreeSet::new())
+    }
+
+    /// [`NetworkMap::path`] with an undirected ban list: edges whose
+    /// normalized `(min, max)` pair appears in `banned` are skipped in both
+    /// directions. With an empty ban list this *is* the reference shortest
+    /// path; [`NetworkMap::k_paths`] layers successive bans on top.
+    fn path_banned(
+        &self,
+        cfg: &CoreConfig,
+        from: NetNode,
+        to: NetNode,
+        banned: &BTreeSet<(NetNode, NetNode)>,
+    ) -> Option<Vec<NetNode>> {
         if from == to {
             return Some(vec![from]);
         }
@@ -400,6 +418,9 @@ impl NetworkMap {
                 break;
             }
             for v in self.neighbours(u) {
+                if !banned.is_empty() && banned.contains(&undirected_key(u, v)) {
+                    continue;
+                }
                 // Unmeasured edges get a nominal fallback weight so
                 // traversal still works while the map is warming up.
                 let w = self.effective_delay_ns(cfg, u, v).unwrap_or(cfg.unmeasured_delay_ns);
@@ -424,6 +445,39 @@ impl NetworkMap {
         path.reverse();
         Some(path)
     }
+
+    /// Up to `k` candidate paths between two nodes by successive edge
+    /// exclusion: path *j+1* is the shortest path with the interior
+    /// switch–switch edges of paths *1..=j* banned (host attachment edges
+    /// are never banned — a host's only uplink is not an alternative to
+    /// itself). Stops early when banning yields no path or a duplicate.
+    ///
+    /// The first element always equals [`NetworkMap::path`] exactly. Like
+    /// `path`, this is the *reference* implementation for the k-path rank:
+    /// [`crate::pathidx::PathEngine::paths`] must agree byte-for-byte.
+    pub fn k_paths(&self, cfg: &CoreConfig, from: NetNode, to: NetNode, k: u32) -> Vec<Vec<NetNode>> {
+        let mut out: Vec<Vec<NetNode>> = Vec::new();
+        let mut banned: BTreeSet<(NetNode, NetNode)> = BTreeSet::new();
+        for _ in 0..k.max(1) {
+            let Some(path) = self.path_banned(cfg, from, to, &banned) else { break };
+            if out.contains(&path) {
+                break;
+            }
+            for w in path.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if matches!(a, NetNode::Switch(_)) && matches!(b, NetNode::Switch(_)) {
+                    banned.insert(undirected_key(a, b));
+                }
+            }
+            out.push(path);
+        }
+        out
+    }
+}
+
+/// Normalize an undirected edge to a canonical `(min, max)` key.
+fn undirected_key(a: NetNode, b: NetNode) -> (NetNode, NetNode) {
+    if a <= b { (a, b) } else { (b, a) }
 }
 
 #[cfg(test)]
@@ -698,6 +752,94 @@ mod tests {
         assert_eq!(m.hosts().collect::<Vec<_>>(), vec![1, 2, 6]);
         assert_eq!(m.switches().collect::<Vec<_>>(), vec![10, 11, 12]);
         assert!(m.edge(NetNode::Switch(12), NetNode::Switch(11)).is_some());
+    }
+
+    /// Two disjoint switch chains host1→host6: 10–11 (fast), 12–13 (slow).
+    fn two_route_map() -> NetworkMap {
+        let mut m = NetworkMap::new();
+        let mut fast = ProbePayload::new(1, 1, 0);
+        fast.int.push(rec(10, 0, 5, 11));
+        fast.int.push(rec(11, 0, 5, 22));
+        m.apply_probe(&fast, 6, 22_000_000);
+        let mut slow = ProbePayload::new(1, 2, 0);
+        slow.int.push(rec(12, 0, 30, 11));
+        slow.int.push(rec(13, 0, 30, 22));
+        m.apply_probe(&slow, 6, 70_000_000);
+        m
+    }
+
+    #[test]
+    fn k_paths_first_is_the_shortest_path_and_banning_finds_the_alternate() {
+        let m = two_route_map();
+        let cfg = CoreConfig::default();
+        let (a, b) = (NetNode::Host(1), NetNode::Host(6));
+        let ks = m.k_paths(&cfg, a, b, 3);
+        assert_eq!(ks.len(), 2, "two disjoint routes exist: {ks:?}");
+        assert_eq!(ks[0], m.path(&cfg, a, b).unwrap(), "first k-path is the oracle path");
+        assert!(ks[0].contains(&NetNode::Switch(10)), "fast route first: {ks:?}");
+        assert!(ks[1].contains(&NetNode::Switch(12)), "banning reveals the slow route: {ks:?}");
+    }
+
+    #[test]
+    fn k_paths_never_bans_host_attachment_edges() {
+        // Single chain: the only route shares the host attachments; k>1
+        // must return exactly one path, not sever the hosts.
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        let cfg = CoreConfig::default();
+        let ks = m.k_paths(&cfg, NetNode::Host(1), NetNode::Host(6), 4);
+        assert_eq!(ks.len(), 1, "the lone interior edge bans out: {ks:?}");
+        assert_eq!(ks[0], m.path(&cfg, NetNode::Host(1), NetNode::Host(6)).unwrap());
+    }
+
+    #[test]
+    fn k_paths_of_one_reduces_to_path() {
+        let m = two_route_map();
+        let cfg = CoreConfig::default();
+        for (a, b) in [(1u32, 6u32), (6, 1)] {
+            let ks = m.k_paths(&cfg, NetNode::Host(a), NetNode::Host(b), 1);
+            assert_eq!(ks.len(), 1);
+            assert_eq!(ks[0], m.path(&cfg, NetNode::Host(a), NetNode::Host(b)).unwrap());
+        }
+    }
+
+    #[test]
+    fn k_paths_self_and_unknown_endpoints() {
+        let m = two_route_map();
+        let cfg = CoreConfig::default();
+        let selfp = m.k_paths(&cfg, NetNode::Host(1), NetNode::Host(1), 3);
+        assert_eq!(selfp, vec![vec![NetNode::Host(1)]]);
+        assert!(m.k_paths(&cfg, NetNode::Host(1), NetNode::Host(42), 3).is_empty());
+    }
+
+    #[test]
+    fn delay_ewma_survives_near_max_samples() {
+        // Regression: the EWMA blend `(8-w)*delay + w*sample` used to be
+        // computed in u64 and wrapped once the smoothed delay passed
+        // ~2.6e18 ns, ranking a saturated path as nearly free.
+        let mut m = NetworkMap::new();
+        let huge = u64::MAX / 2;
+        let mk = |seq: u64| {
+            let mut p = ProbePayload::new(1, seq, 0);
+            p.int.push(IntRecord {
+                switch_id: 10,
+                ingress_port: 0,
+                egress_port: 1,
+                max_qlen_pkts: 0,
+                qlen_at_probe_pkts: 0,
+                link_latency_ns: huge,
+                egress_ts_ns: 11_000_000,
+            });
+            p
+        };
+        m.apply_probe(&mk(1), 6, 21_000_000);
+        m.apply_probe(&mk(2), 6, 22_000_000);
+        let e = m.edge(NetNode::Host(1), NetNode::Switch(10)).expect("edge learned");
+        assert!(
+            e.delay_ns >= huge - 8 && e.delay_ns <= huge,
+            "EWMA of two equal huge samples stays at the sample, got {}",
+            e.delay_ns
+        );
     }
 }
 

@@ -130,6 +130,19 @@ pub struct PathEngine {
     uncached: Option<Vec<NetNode>>,
     /// Storage for the trivial `from == to` path.
     self_path: [NetNode; 1],
+    /// `(from, to)` → cached k-path set (see [`PathEngine::paths`]).
+    /// Invalidated together with `cache` — a metrics-generation bump that
+    /// re-prices even one path of a k-set must drop the whole set, or a
+    /// stale winner could be served.
+    kcache: BTreeMap<(NetNode, NetNode), Vec<Vec<NetNode>>>,
+    /// Result slot for k-path queries when the cache is force-disabled.
+    kuncached: Vec<Vec<NetNode>>,
+    /// Per-arc ban mask for successive-exclusion runs, parallel to `cols`.
+    arc_mask: Vec<bool>,
+    /// Masked-SSSP scratch (separate from `dist`/`prev` so masked runs
+    /// never corrupt the memoized shared SSSP).
+    mdist: Vec<u64>,
+    mprev: Vec<u32>,
     stats: PathEngineStats,
 }
 
@@ -151,6 +164,11 @@ impl Default for PathEngine {
             cache_enabled: true,
             uncached: None,
             self_path: [NetNode::Host(0)],
+            kcache: BTreeMap::new(),
+            kuncached: Vec::new(),
+            arc_mask: Vec::new(),
+            mdist: Vec::new(),
+            mprev: Vec::new(),
             stats: PathEngineStats::default(),
         }
     }
@@ -174,6 +192,7 @@ impl PathEngine {
         if self.cache_enabled != on {
             self.cache_enabled = on;
             self.cache.clear();
+            self.kcache.clear();
         }
     }
 
@@ -216,6 +235,52 @@ impl PathEngine {
         }
     }
 
+    /// Up to `cfg.k_paths` candidate paths from `from` to `to` by
+    /// successive edge exclusion, byte-identical to
+    /// [`NetworkMap::k_paths`]. The first element (when any) equals
+    /// [`PathEngine::path`]; an empty slice means disconnected.
+    ///
+    /// Path 1 comes from the shared memoized SSSP; paths 2..k each run a
+    /// *masked* Dijkstra with the interior switch–switch edges of the
+    /// previous paths banned (host attachment edges are never banned).
+    /// Masked runs use their own scratch, so they never perturb the
+    /// shared SSSP that serves single-path queries. Cached k-sets are
+    /// dropped whenever either map generation moves, exactly like the
+    /// single-path cache.
+    pub fn paths(
+        &mut self,
+        map: &NetworkMap,
+        cfg: &CoreConfig,
+        from: NetNode,
+        to: NetNode,
+    ) -> &[Vec<NetNode>] {
+        if from == to {
+            // Self paths need no map knowledge (mirrors the oracle, which
+            // stops after the first duplicate self path).
+            self.kuncached.clear();
+            self.kuncached.push(vec![from]);
+            return &self.kuncached;
+        }
+        self.ensure_snapshot(map);
+        self.ensure_weights(map, cfg);
+
+        let key = (from, to);
+        if self.cache_enabled && self.kcache.contains_key(&key) {
+            self.stats.cache_hits += 1;
+            return self.kcache.get(&key).expect("just checked");
+        }
+
+        let computed = self.compute_k_paths(cfg.k_paths, from, to);
+        if self.cache_enabled {
+            self.stats.cache_misses += 1;
+            self.kcache.insert(key, computed);
+            self.kcache.get(&key).expect("just inserted")
+        } else {
+            self.kuncached = computed;
+            &self.kuncached
+        }
+    }
+
     /// Bring the CSR snapshot and arc weights up to date for `map`/`cfg`
     /// and expose them: `(nodes, row, cols, weights)`. Dense ids are the
     /// indices into `nodes`; `row`/`cols` are the adjacency in CSR form;
@@ -248,6 +313,111 @@ impl PathEngine {
             cur = self.prev[cur as usize];
             if cur == NO_PREV {
                 return None; // unreachable scratch state; mirrors oracle's `?`
+            }
+            path.push(self.nodes[cur as usize]);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Successive-exclusion k-path computation (snapshot and weights must
+    /// already be current). Mirrors [`NetworkMap::k_paths`] exactly: ban
+    /// the interior switch–switch edges of each found path, re-run, stop
+    /// on no-path or duplicate.
+    fn compute_k_paths(&mut self, k: u32, from: NetNode, to: NetNode) -> Vec<Vec<NetNode>> {
+        let k = k.max(1);
+        let mut out: Vec<Vec<NetNode>> = Vec::new();
+        let Some(first) = self.compute_path(from, to) else { return out };
+        out.push(first);
+        if k == 1 {
+            return out;
+        }
+        let (Some(from_id), Some(to_id)) = (self.node_id(from), self.node_id(to)) else {
+            return out;
+        };
+        self.arc_mask.clear();
+        self.arc_mask.resize(self.cols.len(), false);
+        for _ in 1..k {
+            let last = out.last().expect("non-empty").clone();
+            self.ban_interior_edges(&last);
+            let Some(p) = self.masked_path(from_id, to_id) else { break };
+            if out.contains(&p) {
+                break;
+            }
+            out.push(p);
+        }
+        out
+    }
+
+    /// Mask both arc directions of every interior switch–switch edge of a
+    /// path. Host attachment edges are never banned: a host's only uplink
+    /// is not an alternative to itself.
+    fn ban_interior_edges(&mut self, path: &[NetNode]) {
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if matches!(a, NetNode::Switch(_)) && matches!(b, NetNode::Switch(_)) {
+                if let (Some(ia), Some(ib)) = (self.node_id(a), self.node_id(b)) {
+                    self.ban_arc(ia, ib);
+                    self.ban_arc(ib, ia);
+                }
+            }
+        }
+    }
+
+    /// Mark the CSR arc `u → v` banned, if present.
+    fn ban_arc(&mut self, u: u32, v: u32) {
+        let (s, e) = (self.row[u as usize] as usize, self.row[u as usize + 1] as usize);
+        if let Ok(off) = self.cols[s..e].binary_search(&v) {
+            self.arc_mask[s + off] = true;
+        }
+    }
+
+    /// Point-to-point Dijkstra honouring `arc_mask`, over dedicated
+    /// scratch (`mdist`/`mprev`). Tie-breaks match the shared SSSP and
+    /// therefore the oracle: dense ids ascend in `NetNode` order and CSR
+    /// rows are sorted, so `(dist, id)` ordering equals `(dist, NetNode)`.
+    fn masked_path(&mut self, from_id: u32, to_id: u32) -> Option<Vec<NetNode>> {
+        let n = self.nodes.len();
+        self.mdist.clear();
+        self.mdist.resize(n, u64::MAX);
+        self.mprev.clear();
+        self.mprev.resize(n, NO_PREV);
+        self.heap.clear();
+
+        self.mdist[from_id as usize] = 0;
+        self.heap.push(Reverse((0, from_id)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if self.mdist[u as usize] < d {
+                continue;
+            }
+            if u == to_id {
+                break;
+            }
+            for i in self.row[u as usize] as usize..self.row[u as usize + 1] as usize {
+                if self.arc_mask[i] {
+                    continue;
+                }
+                let v = self.cols[i];
+                let nd = d.saturating_add(self.weights[i]);
+                if nd < self.mdist[v as usize] {
+                    self.mdist[v as usize] = nd;
+                    self.mprev[v as usize] = u;
+                    self.heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        self.heap.clear(); // early exit can leave stale entries behind
+
+        if self.mdist[to_id as usize] == u64::MAX {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = to_id;
+        path.push(self.nodes[cur as usize]);
+        while cur != from_id {
+            cur = self.mprev[cur as usize];
+            if cur == NO_PREV {
+                return None;
             }
             path.push(self.nodes[cur as usize]);
         }
@@ -331,6 +501,7 @@ impl PathEngine {
         self.weights_gen = Some(gen);
         self.sssp_source = None;
         self.cache.clear();
+        self.kcache.clear();
     }
 
     /// Run (or reuse) the single-source Dijkstra from `source`. One run
@@ -497,6 +668,64 @@ mod tests {
             }
         }
         assert_eq!(off.stats().cache_hits + off.stats().cache_misses, 0);
+    }
+
+    #[test]
+    fn k_paths_agree_with_oracle_and_first_equals_path() {
+        let m = two_route_map();
+        let cfg = CoreConfig { k_paths: 3, ..CoreConfig::default() };
+        let mut eng = PathEngine::new();
+        for (a, b) in [(1u32, 6u32), (6, 1)] {
+            let (from, to) = (NetNode::Host(a), NetNode::Host(b));
+            let oracle = m.k_paths(&cfg, from, to, cfg.k_paths);
+            let got = eng.paths(&m, &cfg, from, to).to_vec();
+            assert_eq!(got, oracle, "{a}->{b}");
+            assert_eq!(got.len(), 2, "both disjoint routes found: {got:?}");
+            let single = eng.path(&m, &cfg, from, to).unwrap().to_vec();
+            assert_eq!(got[0], single, "first k-path equals the single path");
+        }
+    }
+
+    #[test]
+    fn k_path_cache_drops_on_metric_refresh_of_one_member() {
+        // Satellite-3 regression: re-pricing *one* path of a cached k-set
+        // must invalidate the set — the winner order can flip.
+        let mut m = two_route_map();
+        let cfg = CoreConfig { k_paths: 2, ..CoreConfig::default() };
+        let mut eng = PathEngine::new();
+        let before = eng.paths(&m, &cfg, NetNode::Host(1), NetNode::Host(6)).to_vec();
+        assert!(before[0].contains(&NetNode::Switch(10)), "fast route wins first: {before:?}");
+
+        // Degrade only the fast route — a metric-only update.
+        let topo_before = m.topology_generation();
+        for seq in 3..=20 {
+            m.apply_probe(&probe(1, seq, &[(10, 100), (11, 100)]), 6, 300_000_000);
+        }
+        assert_eq!(m.topology_generation(), topo_before, "no structural change");
+
+        let after = eng.paths(&m, &cfg, NetNode::Host(1), NetNode::Host(6)).to_vec();
+        assert_eq!(after, m.k_paths(&cfg, NetNode::Host(1), NetNode::Host(6), 2));
+        assert!(
+            after[0].contains(&NetNode::Switch(12)),
+            "the re-priced set leads with the now-faster route: {after:?}"
+        );
+    }
+
+    #[test]
+    fn masked_runs_do_not_corrupt_the_shared_sssp() {
+        let m = two_route_map();
+        let cfg = CoreConfig { k_paths: 3, ..CoreConfig::default() };
+        let mut eng = PathEngine::new();
+        let single_before = eng.path(&m, &cfg, NetNode::Host(1), NetNode::Host(6)).unwrap().to_vec();
+        let runs_before = eng.stats().sssp_runs;
+        let _ = eng.paths(&m, &cfg, NetNode::Host(1), NetNode::Host(6)).to_vec();
+        let single_after = eng.path(&m, &cfg, NetNode::Host(1), NetNode::Host(6)).unwrap().to_vec();
+        assert_eq!(single_before, single_after);
+        assert_eq!(
+            eng.stats().sssp_runs,
+            runs_before,
+            "k-path queries reuse the memoized shared SSSP for path 1"
+        );
     }
 
     #[test]

@@ -322,19 +322,46 @@ impl Ranker {
         self.pathless = pathless;
     }
 
-    /// Estimate one candidate. The path is computed **once** via the
-    /// indexed engine and fed to both estimators — the delay and bandwidth
-    /// figures always describe the same route (and the engine's shared
-    /// SSSP means all candidates of one query reuse a single Dijkstra).
+    /// Estimate one candidate. With `k_paths == 1` (the default) the path
+    /// is computed **once** via the indexed engine and fed to both
+    /// estimators — the delay and bandwidth figures always describe the
+    /// same route (and the engine's shared SSSP means all candidates of
+    /// one query reuse a single Dijkstra). With `k_paths > 1` every
+    /// candidate path is priced and the cheapest wins: ties break to the
+    /// lowest path index, and both reported figures come from the *same*
+    /// winning path.
+    ///
+    /// Reachable totals are clamped to `u64::MAX - 1`: `u64::MAX` is the
+    /// no-fresh-path sentinel, and a saturated-but-reachable estimate
+    /// must rank worst, not read as unreachable.
     fn estimate(&mut self, map: &NetworkMap, requester: u32, host: u32, now_ns: u64) -> RankedServer {
-        match self.engine.path(map, &self.cfg, NetNode::Host(requester), NetNode::Host(host)) {
-            None => RankedServer { host, est_delay_ns: u64::MAX, est_bandwidth_bps: 0 },
-            Some(path) => RankedServer {
-                host,
-                est_delay_ns: self.delay.estimate_along(map, path, now_ns).total_ns(),
-                est_bandwidth_bps: self.bandwidth.estimate_along(map, path, now_ns),
-            },
+        if self.cfg.k_paths <= 1 {
+            return match self.engine.path(map, &self.cfg, NetNode::Host(requester), NetNode::Host(host))
+            {
+                None => RankedServer { host, est_delay_ns: u64::MAX, est_bandwidth_bps: 0 },
+                Some(path) => RankedServer {
+                    host,
+                    est_delay_ns: self
+                        .delay
+                        .estimate_along(map, path, now_ns)
+                        .total_ns()
+                        .min(u64::MAX - 1),
+                    est_bandwidth_bps: self.bandwidth.estimate_along(map, path, now_ns),
+                },
+            };
         }
+        let paths =
+            self.engine.paths(map, &self.cfg, NetNode::Host(requester), NetNode::Host(host));
+        let mut best_delay = u64::MAX;
+        let mut best_bw = 0;
+        for path in paths {
+            let d = self.delay.estimate_along(map, path, now_ns).total_ns().min(u64::MAX - 1);
+            if d < best_delay {
+                best_delay = d;
+                best_bw = self.bandwidth.estimate_along(map, path, now_ns);
+            }
+        }
+        RankedServer { host, est_delay_ns: best_delay, est_bandwidth_bps: best_bw }
     }
 
     fn sort(&mut self, out: &mut [RankedServer], requester: u32, policy: Policy) {

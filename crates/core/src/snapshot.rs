@@ -285,10 +285,14 @@ impl SchedSnapshot {
         }
     }
 
-    /// Estimate one candidate: resolve the path once (shared SSSP + path
-    /// cache in the scratch) and price it with the frozen per-arc delay
-    /// and queue evidence — the same numbers the live estimators produce
-    /// against the map state this snapshot froze.
+    /// Estimate one candidate: resolve the path (shared SSSP + path cache
+    /// in the scratch) and price it with the frozen per-arc delay and
+    /// queue evidence — the same numbers the live estimators produce
+    /// against the map state this snapshot froze. With `k_paths > 1`,
+    /// resolve the whole k-set (decision-identical to
+    /// [`PathEngine::paths`]) and report the cheapest path's figures,
+    /// ties breaking to the lowest path index — exactly the live
+    /// `Ranker::estimate` rule.
     fn estimate(
         &self,
         scratch: &mut SnapshotScratch,
@@ -308,30 +312,154 @@ impl SchedSnapshot {
                 est_bandwidth_bps: self.cfg.link_capacity_bps,
             };
         }
-        if !self.resolve_path(scratch, from, to) {
-            return RankedServer { host, est_delay_ns: u64::MAX, est_bandwidth_bps: 0 };
+        if self.cfg.k_paths <= 1 {
+            if !self.resolve_path(scratch, from, to) {
+                return RankedServer { host, est_delay_ns: u64::MAX, est_bandwidth_bps: 0 };
+            }
+            let (est_delay_ns, est_bandwidth_bps) = self.price_path(&scratch.path_buf, now_ns);
+            return RankedServer { host, est_delay_ns, est_bandwidth_bps };
         }
 
-        // Walk the resolved path (dense-id sequence in scratch.path_buf),
-        // mirroring DelayEstimator/BandwidthEstimator::estimate_along.
+        if !self.ensure_k_paths(scratch, from, to) {
+            return RankedServer { host, est_delay_ns: u64::MAX, est_bandwidth_bps: 0 };
+        }
+        let kset = scratch.kcache.get(&(from, to)).expect("just ensured");
+        let mut best_delay = u64::MAX;
+        let mut best_bw = 0;
+        for path in kset {
+            let (d, bw) = self.price_path(path, now_ns);
+            if d < best_delay {
+                best_delay = d;
+                best_bw = bw;
+            }
+        }
+        RankedServer { host, est_delay_ns: best_delay, est_bandwidth_bps: best_bw }
+    }
+
+    /// Price one resolved dense-id path with the frozen per-arc evidence,
+    /// mirroring `DelayEstimator`/`BandwidthEstimator::estimate_along` —
+    /// including their saturating arithmetic (8+-hop fabric paths with
+    /// saturated link estimates must pin at the ceiling, not wrap) and
+    /// the `u64::MAX - 1` clamp that keeps reachable totals distinct
+    /// from the no-fresh-path sentinel.
+    fn price_path(&self, path: &[u32], now_ns: u64) -> (u64, u64) {
         let mut link_delay_ns = 0u64;
         let mut hop_delay_ns = 0u64;
         let mut bottleneck = self.cfg.link_capacity_bps;
-        for w in scratch.path_buf.windows(2) {
+        for w in path.windows(2) {
             let (u, v) = (w[0], w[1]);
             let ai = self.arc_index(u, v).expect("path arcs exist in the CSR");
-            link_delay_ns += self.est_delay[ai];
+            link_delay_ns = link_delay_ns.saturating_add(self.est_delay[ai]);
             if matches!(self.nodes[u as usize], NetNode::Switch(_)) {
                 let q = self.arc_qlen(ai, now_ns);
-                hop_delay_ns += self.cfg.k_ns_per_pkt * q as u64;
+                hop_delay_ns =
+                    hop_delay_ns.saturating_add(self.cfg.k_ns_per_pkt.saturating_mul(q as u64));
                 bottleneck = bottleneck.min(self.cfg.available_bw_for_qlen(q));
             }
         }
-        RankedServer {
-            host,
-            est_delay_ns: link_delay_ns + hop_delay_ns,
-            est_bandwidth_bps: bottleneck,
+        (link_delay_ns.saturating_add(hop_delay_ns).min(u64::MAX - 1), bottleneck)
+    }
+
+    /// Resolve (and cache) the k-path set for `from → to` into the
+    /// scratch, mirroring [`PathEngine::paths`]: first path from the
+    /// shared SSSP, successors from masked Dijkstra runs with the
+    /// previous paths' interior switch–switch edges banned. Returns
+    /// false when disconnected (cached as an empty set).
+    fn ensure_k_paths(&self, scratch: &mut SnapshotScratch, from: u32, to: u32) -> bool {
+        if let Some(kset) = scratch.kcache.get(&(from, to)) {
+            scratch.stats.cache_hits += 1;
+            return !kset.is_empty();
         }
+        scratch.stats.cache_misses += 1;
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        if self.resolve_path(scratch, from, to) {
+            out.push(scratch.path_buf.clone());
+            let k = self.cfg.k_paths.max(1);
+            if k > 1 {
+                scratch.arc_mask.clear();
+                scratch.arc_mask.resize(self.cols.len(), false);
+                for _ in 1..k {
+                    let last = out.last().expect("non-empty").clone();
+                    self.ban_interior_edges(scratch, &last);
+                    let Some(p) = self.masked_path(scratch, from, to) else { break };
+                    if out.contains(&p) {
+                        break;
+                    }
+                    out.push(p);
+                }
+            }
+        }
+        let ok = !out.is_empty();
+        scratch.kcache.insert((from, to), out);
+        ok
+    }
+
+    /// Mask both arc directions of every interior switch–switch edge of
+    /// a path (host attachment edges are never banned).
+    fn ban_interior_edges(&self, scratch: &mut SnapshotScratch, path: &[u32]) {
+        for w in path.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            if matches!(self.nodes[u as usize], NetNode::Switch(_))
+                && matches!(self.nodes[v as usize], NetNode::Switch(_))
+            {
+                for (a, b) in [(u, v), (v, u)] {
+                    if let Some(ai) = self.arc_index(a, b) {
+                        scratch.arc_mask[ai] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Point-to-point Dijkstra honouring `scratch.arc_mask`, over the
+    /// masked scratch buffers — never the shared SSSP's, so memoized
+    /// single-path state survives. Tie-breaks equal the shared SSSP's.
+    fn masked_path(&self, scratch: &mut SnapshotScratch, from: u32, to: u32) -> Option<Vec<u32>> {
+        let n = self.nodes.len();
+        scratch.mdist.clear();
+        scratch.mdist.resize(n, u64::MAX);
+        scratch.mprev.clear();
+        scratch.mprev.resize(n, NO_PREV);
+        scratch.heap.clear();
+
+        scratch.mdist[from as usize] = 0;
+        scratch.heap.push(Reverse((0, from)));
+        while let Some(Reverse((d, u))) = scratch.heap.pop() {
+            if scratch.mdist[u as usize] < d {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for i in self.row[u as usize] as usize..self.row[u as usize + 1] as usize {
+                if scratch.arc_mask[i] {
+                    continue;
+                }
+                let v = self.cols[i];
+                let nd = d.saturating_add(self.weights[i]);
+                if nd < scratch.mdist[v as usize] {
+                    scratch.mdist[v as usize] = nd;
+                    scratch.mprev[v as usize] = u;
+                    scratch.heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        scratch.heap.clear(); // early exit can leave stale entries behind
+
+        if scratch.mdist[to as usize] == u64::MAX {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = scratch.mprev[cur as usize];
+            if cur == NO_PREV {
+                return None;
+            }
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
     }
 
     /// Resolve the `from → to` path into `scratch.path_buf` (endpoints
@@ -511,6 +639,14 @@ pub struct SnapshotScratch {
     /// `(from, to)` dense-id pair → cached path (`None` = unreachable).
     cache: BTreeMap<(u32, u32), Option<Vec<u32>>>,
     path_buf: Vec<u32>,
+    /// `(from, to)` → cached k-path set (empty = unreachable); used only
+    /// when `k_paths > 1`, invalidated with `cache` on epoch moves.
+    kcache: BTreeMap<(u32, u32), Vec<Vec<u32>>>,
+    /// Per-arc ban mask for successive-exclusion runs.
+    arc_mask: Vec<bool>,
+    /// Masked-Dijkstra scratch, separate from the shared SSSP's buffers.
+    mdist: Vec<u64>,
+    mprev: Vec<u32>,
     candidates: Vec<u32>,
     pathless: Vec<RankedServer>,
     stats: SnapshotServeStats,
@@ -534,6 +670,7 @@ impl SnapshotScratch {
             self.epoch = Some(snap.epoch);
             self.sssp_source = None;
             self.cache.clear();
+            self.kcache.clear();
         }
     }
 }
@@ -712,6 +849,31 @@ mod tests {
             seen.insert(out.ranked.iter().map(|r| r.host).collect::<Vec<_>>());
         }
         assert!(seen.len() > 1, "the shuffle actually varies across slots");
+    }
+
+    #[test]
+    fn k_path_snapshot_matches_oracle_under_multipath_config() {
+        // Two disjoint routes 1↔6 (one congested) plus a second server —
+        // with k_paths = 2 both planes must price both routes and agree
+        // decision-for-decision on the winner.
+        let cfg = CoreConfig { k_paths: 2, ..CoreConfig::default() };
+        let mut d = StaticDistances::new();
+        d.set(6, 1, 3);
+        d.set(6, 2, 5);
+        let mut core = SchedulerCore::new(6, cfg, d, 42);
+        core.collector_mut().ingest(&probe(1, 1, &[(10, 20), (11, 0)]), 32_000_000);
+        core.collector_mut().ingest(&probe(1, 2, &[(12, 0), (13, 0)]), 33_000_000);
+        core.collector_mut().ingest(&probe(2, 1, &[(14, 5), (11, 0)]), 32_000_000);
+        let now = 33_000_000;
+        let snap = snap_of(&core, 1, now);
+        let mut scratch = SnapshotScratch::new();
+        for requester in [6u32, 1, 2] {
+            for policy in [Policy::IntDelay, Policy::IntBandwidth, Policy::Nearest] {
+                let want = core.rank_detailed_with(requester, policy, now);
+                let got = snap.rank_detailed(&mut scratch, requester, policy, now, 3);
+                assert_eq!(got, want, "{requester} {policy:?}");
+            }
+        }
     }
 
     #[test]

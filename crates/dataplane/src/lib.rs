@@ -36,6 +36,6 @@ pub mod table;
 pub use frame::{Frame, FrameMeta};
 pub use pipeline::{DataPlaneProgram, EgressCtx, EnqueueCtx, IngressCtx, IngressVerdict, PortId};
 pub use programs::int_telemetry::{IntProgramConfig, IntTelemetryProgram};
-pub use programs::l3fwd::L3ForwardProgram;
+pub use programs::l3fwd::{flow_hash, flow_hash_tuple, EcmpSelect, L3ForwardProgram};
 pub use registers::{RegisterArray, RegisterFile};
 pub use table::{Key, MatchActionTable, MatchKind};

@@ -88,9 +88,25 @@ impl IntTelemetryProgram {
         self.l3.install_host_route(host, port);
     }
 
+    /// Control plane: route a host address over an equal-cost port group
+    /// (`ports[0]` = primary).
+    pub fn install_host_route_multi(&mut self, host: Ipv4Addr, ports: &[PortId]) {
+        self.l3.install_route_multi(host, 32, ports);
+    }
+
+    /// Multipath selection mode for this switch's routes.
+    pub fn set_ecmp_select(&mut self, select: crate::programs::l3fwd::EcmpSelect) {
+        self.l3.set_ecmp_select(select);
+    }
+
     /// Look up the egress port for a destination without side effects.
     pub fn lookup(&self, dst: Ipv4Addr) -> Option<PortId> {
         self.l3.lookup(dst)
+    }
+
+    /// The full equal-cost port group for a destination, primary first.
+    pub fn group_ports(&self, dst: Ipv4Addr) -> Option<&[PortId]> {
+        self.l3.group_ports(dst)
     }
 
     /// Switch identity.
@@ -200,7 +216,15 @@ impl DataPlaneProgram for IntTelemetryProgram {
 
         // Cached: consecutive packets overwhelmingly share a destination,
         // so the per-packet path usually skips the LPM table entirely.
-        let Some(port) = self.l3.lookup_cached(ip.dst) else {
+        // Under flow-hash ECMP the cache resolves the *group*; the member
+        // choice is a pure function of the 5-tuple.
+        let hash = match self.l3.ecmp_select() {
+            crate::programs::l3fwd::EcmpSelect::Primary => 0,
+            crate::programs::l3fwd::EcmpSelect::FlowHash => {
+                crate::programs::l3fwd::flow_hash(&parsed)
+            }
+        };
+        let Some(port) = self.l3.select_cached(ip.dst, hash) else {
             return IngressVerdict::Drop;
         };
         if !decrement_ttl(frame) {

@@ -8,6 +8,7 @@
 //! repro fig8                # ECDF of per-task gain
 //! repro fig9                # probing-interval sweep
 //! repro failover            # link-failure detection & rescheduling
+//! repro fabric              # ECMP multipath compare + failover on a 512-switch Clos
 //! repro workflow            # deadline-aware DAG workflows, composite policies
 //! repro audit               # instrumented failover cells + decision audit trail
 //! repro ablation-k          # conversion-factor sweep
@@ -23,8 +24,8 @@
 //! (override with INT_RESULTS_DIR).
 
 use int_experiments::{
-    ablation, audit, failover, fig3, fig5, fig6, fig7, fig8, fig9, overhead, report, sustained,
-    tab1, workflow,
+    ablation, audit, fabric, failover, fig3, fig5, fig6, fig7, fig8, fig9, overhead, report,
+    sustained, tab1, workflow,
 };
 use int_netsim::SimDuration;
 use std::time::Instant;
@@ -62,15 +63,16 @@ fn main() {
     }
 
     let Some(cmd) = cmd else {
-        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|failover|workflow|audit|overhead|ablation-k|ablation-maxq|ext-compute|sustained> [--seed N] [--scale F]");
+        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|failover|fabric|workflow|audit|overhead|ablation-k|ablation-maxq|ext-compute|sustained> [--seed N] [--scale F]");
         std::process::exit(2);
     };
 
     match cmd.as_str() {
         "all" => {
             for c in [
-                "tab1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "failover", "workflow",
-                "audit", "overhead", "ablation-k", "ablation-maxq", "ext-compute", "sustained",
+                "tab1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "failover", "fabric",
+                "workflow", "audit", "overhead", "ablation-k", "ablation-maxq", "ext-compute",
+                "sustained",
             ] {
                 run_one(c, &opts);
             }
@@ -150,6 +152,12 @@ fn run_one(cmd: &str, opts: &Opts) {
             let out = failover::run_sweep(opts.seed, &ivs);
             println!("{}", failover::render(&out));
             save("failover", &out);
+        }
+        "fabric" => {
+            // --scale shrinks the 512-switch Clos (both tiers and hosts).
+            let out = fabric::run(&fabric::FabricParams::at_scale(opts.seed, opts.scale));
+            println!("{}", fabric::render(&out));
+            save("fabric", &out);
         }
         "workflow" => {
             let out = workflow::run_sweep(opts.seed, opts.scale);

@@ -13,6 +13,7 @@
 //! | [`fig8`] | Fig. 8 — ECDF of per-task gain |
 //! | [`fig9`] | Fig. 9 — probing-interval sensitivity |
 //! | [`failover`] | link-failure detection & rescheduling (failure model, §"future work") |
+//! | [`fabric`] | ECMP multipath compare + failover at Clos datacenter scale |
 //! | [`workflow`] | deadline-aware DAG workflows under scarce compute (§"future work") |
 //! | [`audit`] | instrumented failover cells exporting the decision audit trail |
 //! | [`ablation`] | max-vs-instantaneous queue signal, k sweep, compute-aware |
@@ -26,6 +27,7 @@
 pub mod ablation;
 pub mod audit;
 pub mod compare;
+pub mod fabric;
 pub mod failover;
 pub mod par;
 pub mod fig3;

@@ -26,7 +26,7 @@ use crate::trace::{TrafficAccountant, TrafficClass};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, NodeKind, PortId, Topology};
 use int_dataplane::{
-    DataPlaneProgram, EgressCtx, EnqueueCtx, Frame, IngressCtx, IngressVerdict,
+    DataPlaneProgram, EcmpSelect, EgressCtx, EnqueueCtx, Frame, IngressCtx, IngressVerdict,
     IntProgramConfig, IntTelemetryProgram,
 };
 use int_obs::{DropReason, Labels, MetricsRegistry, TraceEvent, TraceKind, TraceRing};
@@ -84,6 +84,11 @@ pub struct SimConfig {
     /// Classify and count every frame put on the wire (adds one parse per
     /// transmission; off by default).
     pub account_traffic: bool,
+    /// Multipath selection at every hop (hosts and switches). The default
+    /// [`EcmpSelect::Primary`] keeps the pre-multipath single-route
+    /// behaviour bit-for-bit; [`EcmpSelect::FlowHash`] spreads flows over
+    /// equal-cost port groups — the fabric experiments' mode.
+    pub ecmp: EcmpSelect,
 }
 
 impl Default for SimConfig {
@@ -94,8 +99,24 @@ impl Default for SimConfig {
             tcp: TcpConfig::default(),
             int_enabled: true,
             account_traffic: false,
+            ecmp: EcmpSelect::Primary,
         }
     }
+}
+
+/// Assemble an equal-cost port group with `primary` first.
+/// `equal_cost_ports` can be empty (unreachable or self destination) —
+/// the group then degenerates to the primary alone, preserving the old
+/// single-port behaviour including its `unwrap_or(0)` default.
+fn ecmp_group(primary: PortId, equal: Vec<PortId>) -> Vec<PortId> {
+    let mut group = Vec::with_capacity(equal.len().max(1));
+    group.push(primary);
+    for p in equal {
+        if p != primary {
+            group.push(p);
+        }
+    }
+    group
 }
 
 /// The discrete-event network simulator.
@@ -126,12 +147,34 @@ pub struct Simulator {
     trace: TraceRing,
     /// Scratch for draining data-plane program trace buffers.
     trace_scratch: Vec<TraceEvent>,
-    /// Per-host memo of the egress port toward every node, indexed
+    /// Per-host multipath route state toward every node, indexed
     /// `[node][dst_node]`; switch rows stay empty. Built once at
     /// construction so the host send path never reconstructs a route
     /// (`RouteTable::egress_port` → `path()` allocates and reverses a
-    /// `Vec<NodeId>` per call).
-    host_uplinks: Vec<Vec<PortId>>,
+    /// `Vec<NodeId>` per call). Unlike the old single-port memo, each
+    /// entry resolves to the full equal-cost port *group* (primary first),
+    /// so selection can hash across ports and — crucially — fail over to a
+    /// live member when a fault retires the memoized primary.
+    host_uplinks: Vec<HostRouteTable>,
+}
+
+/// A host's build-time route state: one equal-cost port group per
+/// destination node, dedup'd (a host usually has one uplink, so most
+/// destinations share group 0).
+#[derive(Default)]
+struct HostRouteTable {
+    /// `group_of[dst]` indexes into `groups`.
+    group_of: Vec<u16>,
+    /// Equal-cost egress port groups, primary (the pre-multipath
+    /// single-route answer) first.
+    groups: Vec<Vec<PortId>>,
+}
+
+impl HostRouteTable {
+    fn group(&self, dst: NodeId) -> Option<&[PortId]> {
+        let g = *self.group_of.get(dst.0 as usize)?;
+        Some(&self.groups[g as usize])
+    }
 }
 
 impl Simulator {
@@ -173,10 +216,16 @@ impl Simulator {
                         num_ports: spec.ports.len(),
                         int_enabled: cfg.int_enabled,
                     }));
-                    // Control plane: /32 routes for every host.
+                    program.set_ecmp_select(cfg.ecmp);
+                    // Control plane: /32 ECMP routes for every host. The
+                    // group's primary is the old single-path `egress_port`
+                    // answer, so Primary selection forwards identically to
+                    // the pre-multipath control plane.
                     for host in topo.hosts() {
-                        if let Some(port) = routes.egress_port(&topo, spec.id, host) {
-                            program.install_host_route(Topology::host_ip(host), port);
+                        if let Some(primary) = routes.egress_port(&topo, spec.id, host) {
+                            let group =
+                                ecmp_group(primary, routes.equal_cost_ports(&topo, spec.id, host));
+                            program.install_host_route_multi(Topology::host_ip(host), &group);
                         }
                     }
                     nodes.push(NodeState::Switch(SwitchState {
@@ -189,12 +238,22 @@ impl Simulator {
         }
 
         let n = topo.nodes.len();
-        let mut host_uplinks: Vec<Vec<PortId>> = vec![Vec::new(); n];
+        let mut host_uplinks: Vec<HostRouteTable> = (0..n).map(|_| HostRouteTable::default()).collect();
         for spec in &topo.nodes {
             if matches!(spec.kind, NodeKind::Host) {
-                host_uplinks[spec.id.0 as usize] = (0..n)
-                    .map(|d| routes.egress_port(&topo, spec.id, NodeId(d as u32)).unwrap_or(0))
-                    .collect();
+                let mut table = HostRouteTable::default();
+                let mut index: HashMap<Vec<PortId>, u16> = HashMap::new();
+                for d in 0..n {
+                    let dst = NodeId(d as u32);
+                    let primary = routes.egress_port(&topo, spec.id, dst).unwrap_or(0);
+                    let group = ecmp_group(primary, routes.equal_cost_ports(&topo, spec.id, dst));
+                    let g = *index.entry(group.clone()).or_insert_with(|| {
+                        table.groups.push(group);
+                        (table.groups.len() - 1) as u16
+                    });
+                    table.group_of.push(g);
+                }
+                host_uplinks[spec.id.0 as usize] = table;
             }
         }
 
@@ -843,28 +902,79 @@ impl Simulator {
         builder.udp_into(src_port, dst_port, payload, &mut frame.bytes);
         frame.meta.trace_id = self.next_trace_id;
         self.next_trace_id += 1;
-        self.enqueue(node, self.host_uplink(node, dst), frame);
+        let uplink = self.host_uplink(node, dst, 17, src_port, dst_port);
+        self.enqueue(node, uplink, frame);
     }
 
     /// Egress port a host uses toward `dst` (port 0 unless multihomed with
     /// a better route). One memo read per packet; the table is filled at
-    /// construction from the same `RouteTable` answers.
-    fn host_uplink(&self, node: NodeId, dst: Ipv4Addr) -> PortId {
-        if let Some(dst_node) = Topology::node_of_ip(dst) {
-            if let Some(row) = self.host_uplinks.get(node.0 as usize) {
-                if let Some(&p) = row.get(dst_node.0 as usize) {
-                    return p;
-                }
+    /// construction from the same `RouteTable` answers, but each entry is
+    /// the full equal-cost *group*:
+    ///
+    /// * selection — [`EcmpSelect::Primary`] always takes the group head
+    ///   (the old memoized answer); [`EcmpSelect::FlowHash`] hashes the
+    ///   5-tuple across the group, same function the switches apply.
+    /// * liveness — with a fault plan armed, a selected port whose link or
+    ///   peer is down is skipped for the first live group member (the
+    ///   bond-failover fix: the build-time memo used to pin traffic to a
+    ///   dead port forever after a cable pull). When the whole group is
+    ///   dead the selected port is kept — the fault drop paths account the
+    ///   loss. Fault-free runs never take the liveness branch.
+    fn host_uplink(&self, node: NodeId, dst: Ipv4Addr, proto: u8, sport: u16, dport: u16) -> PortId {
+        let Some(dst_node) = Topology::node_of_ip(dst) else { return 0 };
+        let Some(group) = self
+            .host_uplinks
+            .get(node.0 as usize)
+            .and_then(|row| row.group(dst_node))
+        else {
+            return 0;
+        };
+        let selected = match self.cfg.ecmp {
+            EcmpSelect::Primary => group[0],
+            EcmpSelect::FlowHash => {
+                let src_ip = match &self.nodes[node.0 as usize] {
+                    NodeState::Host(h) => h.ip,
+                    _ => return group[0],
+                };
+                let h = int_dataplane::flow_hash_tuple(src_ip, dst, proto, sport, dport);
+                group[(h % group.len() as u64) as usize]
+            }
+        };
+        if self.faults.is_some() && !self.port_is_live(node, selected) {
+            if let Some(&live) = group.iter().find(|&&p| self.port_is_live(node, p)) {
+                return live;
             }
         }
-        0
+        selected
     }
 
-    /// Memoized egress port a host uses toward `dst` — the exact value the
-    /// send path consults. Exposed for regression tests pinning the memo
+    /// Whether a port's attached link and peer are currently up. Always
+    /// true without a fault plan.
+    fn port_is_live(&self, node: NodeId, port: PortId) -> bool {
+        let Some(f) = &self.faults else { return true };
+        match self.topo.node(node).ports.get(port as usize) {
+            Some(pb) => f.link_is_up(pb.link) && f.node_is_up(pb.peer),
+            None => false,
+        }
+    }
+
+    /// Memoized *primary* egress port a host uses toward `dst` — the value
+    /// the send path consults under the default [`EcmpSelect::Primary`]
+    /// with no faults armed. Exposed for regression tests pinning the memo
     /// against fresh `RouteTable` answers.
     pub fn host_uplink_port(&self, node: NodeId, dst: Ipv4Addr) -> PortId {
-        self.host_uplink(node, dst)
+        Topology::node_of_ip(dst)
+            .and_then(|d| self.host_uplinks.get(node.0 as usize)?.group(d))
+            .map_or(0, |g| g[0])
+    }
+
+    /// The full equal-cost uplink group (primary first) a host holds
+    /// toward `dst` — the multipath route state behind
+    /// [`Simulator::host_uplink_port`].
+    pub fn host_uplink_group(&self, node: NodeId, dst: Ipv4Addr) -> &[PortId] {
+        Topology::node_of_ip(dst)
+            .and_then(|d| self.host_uplinks.get(node.0 as usize)?.group(d))
+            .unwrap_or(&[])
     }
 
     /// Drain the TCP outboxes of a host until quiescent.
@@ -932,11 +1042,13 @@ impl Simulator {
         let dst_node = Topology::node_of_ip(dst).unwrap_or(NodeId(u32::MAX));
         let mut builder = PacketBuilder::between(node.0, src_ip, dst_node.0, dst);
         builder.ip_id = (self.next_trace_id & 0xFFFF) as u16;
+        let (sport, dport) = (header.src_port, header.dst_port);
         let mut frame = self.pool.take();
         builder.tcp_into(header, payload, &mut frame.bytes);
         frame.meta.trace_id = self.next_trace_id;
         self.next_trace_id += 1;
-        self.enqueue(node, self.host_uplink(node, dst), frame);
+        let uplink = self.host_uplink(node, dst, 6, sport, dport);
+        self.enqueue(node, uplink, frame);
     }
 }
 
@@ -1449,6 +1561,84 @@ mod tests {
         assert!(early >= 15, "pre-failure deliveries: {early}");
         assert_eq!(outage, 0, "nothing crosses a dead link");
         assert!(late >= 15, "deliveries resume after recovery: {late}");
+    }
+
+    /// Satellite-1 regression: a dual-homed host pinned its traffic to the
+    /// build-time primary uplink even after that cable was pulled,
+    /// blackholing everything despite a healthy equal-cost second uplink.
+    /// Uplink choice must re-resolve against live fault state.
+    #[test]
+    fn dual_homed_host_fails_over_to_live_uplink_on_cable_pull() {
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let h2 = t.add_host("h2");
+        t.add_link(h1, s1, LinkParams::paper_default());
+        t.add_link(h1, s2, LinkParams::paper_default());
+        t.add_link(s1, h2, LinkParams::paper_default());
+        t.add_link(s2, h2, LinkParams::paper_default());
+        let mut sim = Simulator::new(t, cfg());
+        assert_eq!(
+            sim.host_uplink_group(h1, Topology::host_ip(h2)).len(),
+            2,
+            "both uplinks are equal-cost members"
+        );
+        sim.install_app(
+            h1,
+            Box::new(CbrUdp {
+                dst: Topology::host_ip(h2),
+                dst_port: 5001,
+                payload: 100,
+                period: SimDuration::from_millis(100),
+                until: SimTime::ZERO + SimDuration::from_secs(6),
+            }),
+        );
+        let sink = sim.install_app(h2, Box::new(UdpSink::default()));
+        sim.install_fault_plan(
+            &FaultPlan::new()
+                .link_down(h1, s1, SimTime::ZERO + SimDuration::from_secs(2))
+                .link_up(h1, s1, SimTime::ZERO + SimDuration::from_secs(4)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(6));
+
+        let got = &sim.app::<UdpSink>(h2, sink).unwrap().got;
+        let early = got.iter().filter(|(at, _)| at.as_secs_f64() < 2.0).count();
+        let outage = got.iter().filter(|(at, _)| (2.1..4.0).contains(&at.as_secs_f64())).count();
+        let late = got.iter().filter(|(at, _)| at.as_secs_f64() > 4.1).count();
+        assert!(early >= 15, "pre-failure deliveries: {early}");
+        assert!(outage >= 15, "failover keeps the flow alive through the outage: {outage}");
+        assert!(late >= 15, "deliveries continue after recovery: {late}");
+        // At most the frame in flight at the instant of the cut dies on
+        // the downed link — the host must stop *selecting* it.
+        assert!(sim.stats().drops_link_down <= 1, "{:?}", sim.stats());
+    }
+
+    /// With no second uplink the old blackholing behaviour is preserved —
+    /// the failover experiments depend on single-homed hosts going dark.
+    #[test]
+    fn single_homed_host_still_blackholes_when_its_only_uplink_dies() {
+        let (t, h1, s1, h2) = line_topo();
+        let mut sim = Simulator::new(t, cfg());
+        sim.install_app(
+            h1,
+            Box::new(CbrUdp {
+                dst: Topology::host_ip(h2),
+                dst_port: 5001,
+                payload: 100,
+                period: SimDuration::from_millis(100),
+                until: SimTime::ZERO + SimDuration::from_secs(4),
+            }),
+        );
+        let sink = sim.install_app(h2, Box::new(UdpSink::default()));
+        sim.install_fault_plan(
+            &FaultPlan::new().link_down(h1, s1, SimTime::ZERO + SimDuration::from_secs(2)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(4));
+        let got = &sim.app::<UdpSink>(h2, sink).unwrap().got;
+        let outage = got.iter().filter(|(at, _)| at.as_secs_f64() > 2.1).count();
+        assert_eq!(outage, 0, "no live member to fail over to");
+        assert!(sim.stats().drops_link_down >= 15);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod trace;
 
 pub use app::{App, AppCtx, AppOp};
 pub use engine::{SimConfig, Simulator};
+pub use int_dataplane::EcmpSelect;
 pub use event::{ConnId, Event, EventQueue};
 pub use fault::{FaultAction, FaultPlan, FaultState};
 pub use pool::{BufPool, PoolStats};
@@ -46,4 +47,6 @@ pub use stats::NetStats;
 pub use tcp::{TcpConfig, TcpEvent, TcpHost};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TrafficAccountant, TrafficClass};
-pub use topology::{LinkId, LinkParams, NodeId, NodeKind, PortId, Topology};
+pub use topology::{
+    ClosParams, Fabric, FatTreeParams, LinkId, LinkParams, NodeId, NodeKind, PortId, Topology,
+};

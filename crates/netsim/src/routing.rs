@@ -78,6 +78,31 @@ impl RouteTable {
             .position(|pb| pb.peer == nh)
             .map(|i| i as PortId)
     }
+
+    /// *All* egress ports of `from` that lie on some shortest path to
+    /// `to`: port `p` with peer `v` qualifies iff
+    /// `w(from,v) + dist(v,to) == dist(from,to)` — the standard ECMP
+    /// relaxation test over the all-pairs distance matrix. Ports come out
+    /// in creation order, so the set is deterministic; the single-path
+    /// [`RouteTable::egress_port`] answer is always a member. Empty when
+    /// `to` is unreachable or `from == to`.
+    pub fn equal_cost_ports(&self, topo: &Topology, from: NodeId, to: NodeId) -> Vec<PortId> {
+        let total = self.dist_ns[from.0 as usize][to.0 as usize];
+        if total == u64::MAX || from == to {
+            return Vec::new();
+        }
+        topo.node(from)
+            .ports
+            .iter()
+            .enumerate()
+            .filter(|(_, pb)| {
+                let w = topo.link(pb.link).params.delay.as_nanos();
+                let rest = self.dist_ns[pb.peer.0 as usize][to.0 as usize];
+                rest != u64::MAX && w.saturating_add(rest) == total
+            })
+            .map(|(i, _)| i as PortId)
+            .collect()
+    }
 }
 
 fn dijkstra(topo: &Topology, src: NodeId) -> (Vec<u64>, Vec<Option<NodeId>>) {
@@ -202,5 +227,40 @@ mod tests {
         let r = RouteTable::compute(&t);
         assert_eq!(r.path(h1, h1).unwrap(), vec![h1]);
         assert_eq!(r.distance(h1, h1).unwrap(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn equal_cost_ports_expose_every_tied_next_hop() {
+        // Same ring of 4: s0 has two equal-cost egresses toward h2 (via s1
+        // and via s3), but only one toward h1 (the direct attachment).
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1");
+        let h2 = t.add_host("h2");
+        let s: Vec<NodeId> = (0..4).map(|i| t.add_switch(format!("s{i}"))).collect();
+        t.add_link(h1, s[0], params(10));
+        t.add_link(h2, s[2], params(10));
+        t.add_link(s[0], s[1], params(10));
+        t.add_link(s[1], s[2], params(10));
+        t.add_link(s[0], s[3], params(10));
+        t.add_link(s[3], s[2], params(10));
+        let r = RouteTable::compute(&t);
+
+        // s0's ports: 0→h1, 1→s1, 2→s3.
+        assert_eq!(r.equal_cost_ports(&t, s[0], h2), vec![1, 2]);
+        assert_eq!(r.equal_cost_ports(&t, s[0], h1), vec![0]);
+        // The single-path answer is always a member of the set.
+        let primary = r.egress_port(&t, s[0], h2).unwrap();
+        assert!(r.equal_cost_ports(&t, s[0], h2).contains(&primary));
+        // Self targets yield empty sets.
+        assert!(r.equal_cost_ports(&t, h1, h1).is_empty());
+    }
+
+    #[test]
+    fn equal_cost_ports_degrade_to_single_on_asymmetric_costs() {
+        let (t, [h1, s1, _s2, _s3, h2]) = line_with_detour();
+        let r = RouteTable::compute(&t);
+        // The 50 ms detour is not equal-cost with the 10 ms direct hop.
+        assert_eq!(r.equal_cost_ports(&t, s1, h2), vec![1]);
+        assert_eq!(r.equal_cost_ports(&t, h1, h2), vec![0]);
     }
 }

@@ -233,6 +233,153 @@ impl Topology {
     }
 }
 
+/// A generated multipath fabric: the topology plus the node handles a
+/// caller needs to attach apps, pick probers, or assert wiring.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    /// The wired topology.
+    pub topo: Topology,
+    /// All hosts, leaf-major (hosts of leaf 0 first).
+    pub hosts: Vec<NodeId>,
+    /// Switch tiers, host-facing tier first: `tiers[0]` = leaves/edges,
+    /// `tiers[1]` = spines/aggregation, `tiers[2]` = core (fat-tree only).
+    pub tiers: Vec<Vec<NodeId>>,
+}
+
+impl Fabric {
+    /// Every switch of every tier, in tier order.
+    pub fn switches(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.tiers.iter().flatten().copied()
+    }
+
+    /// The leaf (edge) switch a host attaches to.
+    pub fn leaf_of(&self, host: NodeId) -> NodeId {
+        self.topo.node(host).ports[0].peer
+    }
+}
+
+/// Parameters of a two-tier leaf–spine Clos fabric: every leaf connects
+/// to every spine (full bipartite), hosts hang off leaves. Any two hosts
+/// on different leaves have exactly `spines` equal-cost paths.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosParams {
+    /// Spine (top-tier) switch count — the ECMP fan-out.
+    pub spines: u32,
+    /// Leaf (host-facing) switch count.
+    pub leaves: u32,
+    /// Hosts attached to each leaf.
+    pub hosts_per_leaf: u32,
+    /// Link parameters used fabric-wide (uniform ⇒ equal-cost tiers).
+    pub link: LinkParams,
+}
+
+impl ClosParams {
+    /// A 512-switch datacenter-scale fabric: 480 leaves × 32 spines,
+    /// 2 hosts per leaf (960 hosts), paper-default links.
+    pub fn datacenter() -> Self {
+        ClosParams {
+            spines: 32,
+            leaves: 480,
+            hosts_per_leaf: 2,
+            link: LinkParams::paper_default(),
+        }
+    }
+
+    /// Shrink both switch tiers and the host count by `scale` in (0, 1],
+    /// keeping the fabric a valid multipath Clos (≥ 2 spines, ≥ 2 leaves).
+    pub fn scaled(self, scale: f64) -> Self {
+        let s = scale.clamp(0.0, 1.0);
+        ClosParams {
+            spines: ((self.spines as f64 * s).round() as u32).max(2),
+            leaves: ((self.leaves as f64 * s).round() as u32).max(2),
+            hosts_per_leaf: self.hosts_per_leaf.max(1),
+            link: self.link,
+        }
+    }
+
+    /// Build the fabric. Node creation order (and therefore id order) is
+    /// hosts leaf-major, then leaves, then spines; links are host
+    /// attachments first, then the leaf×spine bipartite mesh — all
+    /// deterministic, so same params ⇒ byte-identical topology.
+    pub fn build(&self) -> Fabric {
+        assert!(self.spines >= 1 && self.leaves >= 1, "empty tier");
+        let mut t = Topology::new();
+        let hosts: Vec<NodeId> = (0..self.leaves * self.hosts_per_leaf)
+            .map(|i| t.add_host(format!("h{i}")))
+            .collect();
+        let leaves: Vec<NodeId> =
+            (0..self.leaves).map(|i| t.add_switch(format!("leaf{i}"))).collect();
+        let spines: Vec<NodeId> =
+            (0..self.spines).map(|i| t.add_switch(format!("spine{i}"))).collect();
+        for (i, &h) in hosts.iter().enumerate() {
+            t.add_link(h, leaves[i / self.hosts_per_leaf as usize], self.link);
+        }
+        for &l in &leaves {
+            for &s in &spines {
+                t.add_link(l, s, self.link);
+            }
+        }
+        Fabric { topo: t, hosts, tiers: vec![leaves, spines] }
+    }
+}
+
+/// Parameters of a classic k-ary fat-tree: `k` pods of `k/2` edge and
+/// `k/2` aggregation switches, `(k/2)²` core switches; edge *e* of every
+/// pod connects to all pod aggregations, aggregation *a* connects to core
+/// group *a* (cores `a·k/2 .. (a+1)·k/2`).
+#[derive(Debug, Clone, Copy)]
+pub struct FatTreeParams {
+    /// Pod arity; must be even and ≥ 2.
+    pub k: u32,
+    /// Hosts per edge switch (classic fat-tree uses `k/2`).
+    pub hosts_per_edge: u32,
+    /// Link parameters used fabric-wide.
+    pub link: LinkParams,
+}
+
+impl FatTreeParams {
+    /// Build the fat-tree. Creation order: hosts (pod-, then edge-major),
+    /// edges, aggregations, cores.
+    pub fn build(&self) -> Fabric {
+        assert!(self.k >= 2 && self.k.is_multiple_of(2), "fat-tree arity must be even, got {}", self.k);
+        let (k, half) = (self.k, self.k / 2);
+        let mut t = Topology::new();
+        let hosts: Vec<NodeId> = (0..k * half * self.hosts_per_edge)
+            .map(|i| t.add_host(format!("h{i}")))
+            .collect();
+        let edges: Vec<NodeId> =
+            (0..k * half).map(|i| t.add_switch(format!("edge{i}"))).collect();
+        let aggs: Vec<NodeId> =
+            (0..k * half).map(|i| t.add_switch(format!("agg{i}"))).collect();
+        let cores: Vec<NodeId> =
+            (0..half * half).map(|i| t.add_switch(format!("core{i}"))).collect();
+        for (i, &h) in hosts.iter().enumerate() {
+            t.add_link(h, edges[i / self.hosts_per_edge as usize], self.link);
+        }
+        for pod in 0..k {
+            for e in 0..half {
+                for a in 0..half {
+                    t.add_link(
+                        edges[(pod * half + e) as usize],
+                        aggs[(pod * half + a) as usize],
+                        self.link,
+                    );
+                }
+            }
+            for a in 0..half {
+                for c in 0..half {
+                    t.add_link(
+                        aggs[(pod * half + a) as usize],
+                        cores[(a * half + c) as usize],
+                        self.link,
+                    );
+                }
+            }
+        }
+        Fabric { topo: t, hosts, tiers: vec![edges, aggs, cores] }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,11 +27,15 @@ echo "$bench_log"
 # regression guards for results/bench_pr4.json. The PR-5 rank_throughput
 # pair guards results/bench_pr5.json the same way.
 # rank_throughput_mt (PR 6) guards results/bench_pr6.json: the sharded
-# serve_batch path at 1/2/4/8 workers.
+# serve_batch path at 1/2/4/8 workers. rank_throughput_kpaths and
+# fabric_build (PR 8) guard results/bench_pr8.json: k-path ranking cost
+# vs the k=1 baseline, and the Clos control-plane build.
 for name in push_pop_far_1k timer_heavy_20s flow_table/lpm_indexed/512 flow_table/lpm_linear/512 \
             rank_throughput/testbed_8h rank_throughput/fabric_64s_128h \
             rank_throughput_mt/fabric_64s_128h/1 rank_throughput_mt/fabric_64s_128h/2 \
-            rank_throughput_mt/fabric_64s_128h/4 rank_throughput_mt/fabric_64s_128h/8; do
+            rank_throughput_mt/fabric_64s_128h/4 rank_throughput_mt/fabric_64s_128h/8 \
+            rank_throughput_kpaths/fabric_mp_128h/1 rank_throughput_kpaths/fabric_mp_128h/4 \
+            fabric_build/clos_128s_240h; do
     grep -q "$name" <<<"$bench_log" \
         || { echo "bench smoke: $name missing from harness"; exit 1; }
 done
@@ -46,6 +50,27 @@ INT_RESULTS_DIR="$smoke_dir" INT_EXP_THREADS=1 \
 grep -A2 '"policy": "IntDelay"' "$smoke_dir/failover.json" \
     | grep -q '"detect_ms": [0-9]' \
     || { echo "failover smoke: no finite detect_ms for IntDelay"; exit 1; }
+
+echo "== fabric ECMP determinism (smoke)"
+# Flow-hash ECMP is a pure function of the 5-tuple and the cell grid is
+# regrouped in input order, so the fabric artifact — multipath compare +
+# cable-pull failover on a scaled Clos — must be byte-identical across
+# worker counts. The multipath row must reroute; single-path never does.
+fab1_dir="$(mktemp -d)"
+fab4_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$fab1_dir" "$fab4_dir"' EXIT
+INT_RESULTS_DIR="$fab1_dir" INT_EXP_THREADS=1 \
+    cargo run --release -q -p int-experiments --bin repro -- fabric --seed 1 --scale 0.05
+INT_RESULTS_DIR="$fab4_dir" INT_EXP_THREADS=4 \
+    cargo run --release -q -p int-experiments --bin repro -- fabric --seed 1 --scale 0.05
+cmp "$fab1_dir/fabric.json" "$fab4_dir/fabric.json" \
+    || { echo "fabric smoke: INT_EXP_THREADS changed the artifact"; exit 1; }
+grep -A3 '"mode": "multipath"' "$fab1_dir/fabric.json" \
+    | grep -q '"reroute_ms": [0-9]' \
+    || { echo "fabric smoke: multipath cell did not reroute"; exit 1; }
+grep -A3 '"mode": "singlepath"' "$fab1_dir/fabric.json" \
+    | grep -q '"reroute_ms": null' \
+    || { echo "fabric smoke: singlepath cell unexpectedly rerouted"; exit 1; }
 
 echo "== rank determinism (smoke)"
 # The scheduler's path cache is pure memoization: the same cell with the

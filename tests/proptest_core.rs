@@ -4,8 +4,8 @@
 use int_edge_sched::core::config::{HopSignal, UtilPoint};
 use int_edge_sched::core::rank::{Ranker, StaticDistances};
 use int_edge_sched::core::{
-    BandwidthEstimator, CoreConfig, DelayEstimator, ExcludeReason, NetNode, NetworkMap, Policy,
-    RankedServer,
+    BandwidthEstimator, CoreConfig, DelayEstimator, ExcludeReason, NetNode, NetworkMap, PathEngine,
+    Policy, RankedServer,
 };
 use int_edge_sched::packet::int::IntRecord;
 use int_edge_sched::packet::ProbePayload;
@@ -278,6 +278,73 @@ proptest! {
                         .collect();
                     pathless.sort_by_key(|(h, _)| *h);
                     prop_assert_eq!(&det.excluded, &pathless);
+                }
+            }
+        }
+    }
+
+    /// Oracle test for the k-path engine (satellite of the multipath PR):
+    /// the same churn recipe as above drives one long-lived [`PathEngine`]
+    /// at `k_paths = 3`, and after every op the engine's k-sets must be
+    /// byte-identical to the linear [`NetworkMap::k_paths`] oracle for all
+    /// host pairs — so the k-set cache must invalidate on both structural
+    /// and metric-only mutations, including ones that re-price only one
+    /// path of a cached set.
+    #[test]
+    fn k_path_engine_matches_oracle_under_churn(
+        ops in proptest::collection::vec(
+            // (origin, route shape, link latency ms, queue, clock step ms, op kind)
+            (0u32..5, 0u32..3, 1u64..50, 0u32..40, 1u64..250, 0u8..8),
+            1..24,
+        ),
+    ) {
+        const SCHED: u32 = 100;
+        const EVICT_HORIZON_NS: u64 = 350_000_000;
+        let cfg = CoreConfig { k_paths: 3, ..CoreConfig::default() };
+        let mut m = NetworkMap::new();
+        let mut eng = PathEngine::new();
+        let mut now_ns: u64 = 1_000_000_000;
+        let hosts: Vec<u32> = (0..5).chain([SCHED]).collect();
+
+        for (seq, &(origin, route, lat_ms, qlen, dt_ms, kind)) in ops.iter().enumerate() {
+            now_ns += dt_ms * 1_000_000;
+            if kind == 7 {
+                m.evict_stale(now_ns, EVICT_HORIZON_NS);
+            } else {
+                let chain: Vec<u32> = match route {
+                    0 => vec![10 + origin],
+                    1 => vec![10 + origin, 20],
+                    _ => vec![20, 10 + (origin + 1) % 5],
+                };
+                let mut p = ProbePayload::new(origin, seq as u64 + 1, 0);
+                let last = chain.len() as u64 - 1;
+                for (i, sw) in chain.iter().enumerate() {
+                    p.int.push(IntRecord {
+                        switch_id: *sw,
+                        ingress_port: 0,
+                        egress_port: 1,
+                        max_qlen_pkts: qlen,
+                        qlen_at_probe_pkts: qlen / 2,
+                        link_latency_ns: lat_ms * 1_000_000,
+                        egress_ts_ns: now_ns - (last - i as u64) * lat_ms * 1_000_000,
+                    });
+                }
+                m.apply_probe(&p, SCHED, now_ns);
+            }
+
+            for &from in &hosts {
+                for &to in &hosts {
+                    let (a, b) = (NetNode::Host(from), NetNode::Host(to));
+                    let oracle = m.k_paths(&cfg, a, b, cfg.k_paths);
+                    let got = eng.paths(&m, &cfg, a, b).to_vec();
+                    prop_assert_eq!(&got, &oracle, "k-paths {}->{} after op {}", from, to, seq);
+                    // The head of the k-set is always the single shortest
+                    // path both planes agree on.
+                    prop_assert_eq!(
+                        got.first().cloned(),
+                        m.path(&cfg, a, b),
+                        "first k-path {}->{} after op {}", from, to, seq
+                    );
                 }
             }
         }

@@ -4,7 +4,8 @@
 
 use int_edge_sched::dataplane::{Key, MatchActionTable, MatchKind, RegisterArray};
 use int_edge_sched::netsim::tcp::{TcpConfig, TcpHost};
-use int_edge_sched::netsim::{DropTailQueue, EventQueue, SimTime};
+use int_edge_sched::netsim::topology::{ClosParams, FatTreeParams, LinkParams};
+use int_edge_sched::netsim::{DropTailQueue, EventQueue, NodeKind, RouteTable, SimTime};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
@@ -111,6 +112,108 @@ proptest! {
         }
         let s = q.stats();
         prop_assert_eq!(s.enqueued, dequeued + q.depth_pkts() as u64);
+    }
+
+    /// Clos generator invariants: node/link counts, strict bipartite tier
+    /// wiring, all-pairs host connectivity, and tight hop-count bounds
+    /// (2 links same-leaf, 4 links cross-leaf), for arbitrary shapes.
+    #[test]
+    fn clos_generator_invariants(
+        spines in 1u32..6,
+        leaves in 1u32..8,
+        hosts_per_leaf in 1u32..4,
+    ) {
+        let p = ClosParams { spines, leaves, hosts_per_leaf, link: LinkParams::paper_default() };
+        let f = p.build();
+        prop_assert_eq!(f.hosts.len() as u32, leaves * hosts_per_leaf);
+        prop_assert_eq!(f.tiers.len(), 2);
+        prop_assert_eq!(f.tiers[0].len() as u32, leaves);
+        prop_assert_eq!(f.tiers[1].len() as u32, spines);
+        prop_assert_eq!(
+            f.topo.links.len() as u32,
+            leaves * hosts_per_leaf + leaves * spines,
+            "host attachments plus the full bipartite mesh"
+        );
+
+        // Tier wiring is strictly bipartite: every link joins either a
+        // host to a leaf or a leaf to a spine — never intra-tier.
+        let tier_of = |n: int_edge_sched::netsim::NodeId| -> usize {
+            if f.topo.node(n).kind == NodeKind::Host {
+                0
+            } else if f.tiers[0].contains(&n) {
+                1
+            } else {
+                2
+            }
+        };
+        for l in &f.topo.links {
+            let (ta, tb) = (tier_of(l.a.0), tier_of(l.b.0));
+            prop_assert_eq!(ta.abs_diff(tb), 1, "adjacent tiers only: {:?}", l.id);
+        }
+        // Every leaf reaches every spine exactly once.
+        for &leaf in &f.tiers[0] {
+            let up = f.topo.node(leaf).ports.iter()
+                .filter(|pb| f.tiers[1].contains(&pb.peer)).count() as u32;
+            prop_assert_eq!(up, spines);
+        }
+
+        let routes = RouteTable::compute(&f.topo);
+        for &a in &f.hosts {
+            for &b in &f.hosts {
+                if a == b { continue; }
+                let hops = routes.hop_count(a, b).expect("all host pairs connected");
+                let expect = if f.leaf_of(a) == f.leaf_of(b) { 2 } else { 4 };
+                prop_assert_eq!(hops, expect, "{a} -> {b}");
+                if f.leaf_of(a) != f.leaf_of(b) {
+                    // The host-facing tier exposes the full spine fan-out
+                    // as equal-cost choices.
+                    let ec = routes.equal_cost_ports(&f.topo, f.leaf_of(a), b);
+                    prop_assert_eq!(ec.len() as u32, spines, "{a} -> {b}");
+                }
+            }
+        }
+    }
+
+    /// Fat-tree generator invariants: classic counts for arity k, adjacent-
+    /// tier wiring only, and 2/4/6-link hop bounds (same edge / same pod /
+    /// cross pod).
+    #[test]
+    fn fat_tree_generator_invariants(half in 1u32..3, hosts_per_edge in 1u32..3) {
+        let k = half * 2;
+        let p = FatTreeParams { k, hosts_per_edge, link: LinkParams::paper_default() };
+        let f = p.build();
+        prop_assert_eq!(f.hosts.len() as u32, k * half * hosts_per_edge);
+        prop_assert_eq!(f.tiers[0].len() as u32, k * half, "edge switches");
+        prop_assert_eq!(f.tiers[1].len() as u32, k * half, "aggregation switches");
+        prop_assert_eq!(f.tiers[2].len() as u32, half * half, "core switches");
+
+        let tier_of = |n: int_edge_sched::netsim::NodeId| -> usize {
+            if f.topo.node(n).kind == NodeKind::Host { return 0; }
+            1 + f.tiers.iter().position(|t| t.contains(&n)).expect("switch in a tier")
+        };
+        for l in &f.topo.links {
+            prop_assert_eq!(tier_of(l.a.0).abs_diff(tier_of(l.b.0)), 1, "{:?}", l.id);
+        }
+
+        let pod_of = |edge: int_edge_sched::netsim::NodeId| -> u32 {
+            f.tiers[0].iter().position(|&e| e == edge).unwrap() as u32 / half
+        };
+        let routes = RouteTable::compute(&f.topo);
+        for &a in &f.hosts {
+            for &b in &f.hosts {
+                if a == b { continue; }
+                let hops = routes.hop_count(a, b).expect("all host pairs connected");
+                let (ea, eb) = (f.leaf_of(a), f.leaf_of(b));
+                let expect = if ea == eb {
+                    2
+                } else if pod_of(ea) == pod_of(eb) {
+                    4
+                } else {
+                    6
+                };
+                prop_assert_eq!(hops, expect, "{a} -> {b}");
+            }
+        }
     }
 
     /// TCP delivers the exact byte stream for any loss pattern that is not
