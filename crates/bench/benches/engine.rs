@@ -295,6 +295,77 @@ fn bench_fabric_build(c: &mut Criterion) {
     g.finish();
 }
 
+/// Domain-count scaling of the conservative parallel engine: the same
+/// cross-leaf CBR workload on a tiered Clos, run through `ParSim` at
+/// 1, 2, and 4 latency-partitioned domains. `domains_1` collapses to the
+/// plain single-thread engine, so the paired numbers price the barrier
+/// windows and cross-domain batching; a wall-clock *speedup* additionally
+/// needs cores (compare host_cores in results/bench_pr9.json).
+fn bench_domain_scaling(c: &mut Criterion) {
+    use int_netsim::{ClosParams, ParSim};
+
+    const END: SimDuration = SimDuration::from_secs(2);
+
+    let build = |domains: u16| {
+        let host_link = LinkParams {
+            bandwidth_bps: 1_000_000_000,
+            delay: SimDuration::from_micros(50),
+            queue_cap_pkts: 64,
+        };
+        let uplink = LinkParams {
+            bandwidth_bps: 10_000_000_000,
+            delay: SimDuration::from_millis(2),
+            queue_cap_pkts: 64,
+        };
+        let fabric = ClosParams { spines: 2, leaves: 8, hosts_per_leaf: 2, link: host_link }
+            .build_tiered(uplink);
+        let hosts = fabric.hosts;
+        let mut sim = ParSim::new(fabric.topo, SimConfig::default(), domains);
+        // Every flow crosses the spine tier (src and dst sit under
+        // opposite halves of the leaves), so higher domain counts keep
+        // exchanging cross-domain batches every window.
+        let n = hosts.len();
+        for i in 0..n / 2 {
+            let dst = hosts[i + n / 2];
+            sim.install_app(
+                hosts[i],
+                Box::new(IperfSenderApp::new(IperfConfig::new(
+                    Topology::host_ip(dst),
+                    8_000_000,
+                    SimTime::ZERO,
+                    END,
+                ))),
+            );
+            sim.install_app(dst, Box::new(UdpSinkApp::new(IPERF_UDP_PORT)));
+        }
+        sim
+    };
+
+    // One throwaway run prices the workload; the engine's determinism
+    // contract says every domain count processes the same event total.
+    let events = {
+        let mut sim = build(1);
+        sim.run_until(SimTime::ZERO + END);
+        sim.stats().events_processed
+    };
+
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events));
+    for domains in [1u16, 2, 4] {
+        g.bench_function(format!("domains_{domains}"), |b| {
+            b.iter(|| {
+                let mut sim = build(domains);
+                sim.run_until(SimTime::ZERO + END);
+                let got = sim.stats().events_processed;
+                assert_eq!(got, events, "domain count changed the event total");
+                black_box(got)
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -303,6 +374,7 @@ criterion_group!(
     bench_packet_throughput,
     bench_packet_throughput_observed,
     bench_timer_heavy,
-    bench_tcp_transfer
+    bench_tcp_transfer,
+    bench_domain_scaling
 );
 criterion_main!(benches);

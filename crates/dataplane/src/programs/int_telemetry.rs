@@ -94,6 +94,12 @@ impl IntTelemetryProgram {
         self.l3.install_route_multi(host, 32, ports);
     }
 
+    /// Control plane: route `prefix/len` over an equal-cost port group
+    /// (`ports[0]` = primary). `len == 0` installs a default route.
+    pub fn install_route_multi(&mut self, prefix: Ipv4Addr, prefix_len: u16, ports: &[PortId]) {
+        self.l3.install_route_multi(prefix, prefix_len, ports);
+    }
+
     /// Multipath selection mode for this switch's routes.
     pub fn set_ecmp_select(&mut self, select: crate::programs::l3fwd::EcmpSelect) {
         self.l3.set_ecmp_select(select);

@@ -14,6 +14,9 @@
 //! repro ablation-k          # conversion-factor sweep
 //! repro ablation-maxq       # queue-signal ablation
 //! repro ext-compute         # compute-aware extension demo
+//! repro giant               # 10k-host Clos, minutes of virtual time
+//!                           # (INT_SIM_DOMAINS / INT_OBS_STREAM aware;
+//!                           #  --scale shrinks it for smokes)
 //!
 //! options:
 //!   --seed N      experiment seed (default 1)
@@ -24,8 +27,8 @@
 //! (override with INT_RESULTS_DIR).
 
 use int_experiments::{
-    ablation, audit, fabric, failover, fig3, fig5, fig6, fig7, fig8, fig9, overhead, report,
-    sustained, tab1, workflow,
+    ablation, audit, fabric, failover, fig3, fig5, fig6, fig7, fig8, fig9, giant, overhead,
+    report, sustained, tab1, workflow,
 };
 use int_netsim::SimDuration;
 use std::time::Instant;
@@ -63,7 +66,7 @@ fn main() {
     }
 
     let Some(cmd) = cmd else {
-        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|failover|fabric|workflow|audit|overhead|ablation-k|ablation-maxq|ext-compute|sustained> [--seed N] [--scale F]");
+        eprintln!("usage: repro <all|tab1|fig3|fig5|fig6|fig7|fig8|fig9|failover|fabric|workflow|audit|overhead|ablation-k|ablation-maxq|ext-compute|sustained|giant> [--seed N] [--scale F]");
         std::process::exit(2);
     };
 
@@ -204,6 +207,27 @@ fn run_one(cmd: &str, opts: &Opts) {
         }
         "ext-compute" => {
             println!("{}", ablation::demo_compute_aware());
+        }
+        "giant" => {
+            // Not part of `all`: full scale is a dedicated benchmark run.
+            let p = if opts.scale >= 1.0 {
+                giant::GiantParams::full_scale(opts.seed)
+            } else {
+                giant::GiantParams::at_scale(opts.seed, opts.scale)
+            };
+            let t0 = Instant::now();
+            match giant::run(&p) {
+                Ok(out) => {
+                    println!("{}", giant::render(&out));
+                    save("giant", &out);
+                    let meta = report::RunMeta::capture(t0.elapsed().as_secs_f64());
+                    match report::save_runmeta("giant", &meta) {
+                        Ok(path) => println!("(saved {})", path.display()),
+                        Err(e) => eprintln!("warning: could not save giant runmeta: {e}"),
+                    }
+                }
+                Err(e) => die(&format!("giant run failed: {e}")),
+            }
         }
         other => die(&format!("unknown experiment `{other}`")),
     }

@@ -1,0 +1,340 @@
+//! The giant run: a 10,000-host Clos fabric simulated for minutes of
+//! virtual time, with epoch-granular observability streamed to disk.
+//!
+//! This is the scenario the PR 9 machinery exists for. Three things make
+//! it feasible where the previous harness was not:
+//!
+//! * **structural Clos routing** ([`int_netsim::ClosRoutes`]) — no
+//!   all-pairs route table (O(n²) memory plus n Dijkstra runs at 10k
+//!   hosts) is ever materialized;
+//! * **streaming epoch exports** ([`int_obs::EpochWriter`]) — each epoch's
+//!   JSONL line hits disk as the epoch closes, so observability memory is
+//!   one line, not the whole run (`INT_OBS_STREAM=0` restores the
+//!   in-core accumulate-then-write path, byte-identically);
+//! * **conservative parallel domains** ([`int_netsim::ParSim`]) —
+//!   `INT_SIM_DOMAINS=N` splits the fabric at the leaf–spine latency cut;
+//!   artifacts stay byte-identical to the single-thread oracle.
+//!
+//! Everything written to `giant.jsonl` / `giant.json` is integer-only and
+//! deterministic; wall-clock and peak-RSS live in the `giant.runmeta.json`
+//! sidecar so determinism smokes can `cmp` the artifacts.
+
+use crate::report;
+use int_netsim::{
+    App, AppCtx, ClosParams, ClosRoutes, EcmpSelect, LinkParams, NetStats, ParSim, SimConfig,
+    SimDuration, SimTime, Topology,
+};
+use int_obs::stream::{streaming_enabled, EpochWriter};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::net::Ipv4Addr;
+
+/// Non-round uplink delay: avoids exact-nanosecond arrival coincidences
+/// between unrelated flows, which keeps the canonical artifact ordering
+/// trivially stable (DESIGN.md §5.9 discusses the coincidence window).
+pub const UPLINK_DELAY_NS: u64 = 12_000_019;
+
+/// Giant-run shape and workload knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GiantParams {
+    pub seed: u64,
+    /// Spine tier width (ECMP fan-out).
+    pub spines: u32,
+    /// Leaf switch count.
+    pub leaves: u32,
+    /// Hosts per leaf.
+    pub hosts_per_leaf: u32,
+    /// Virtual run length.
+    pub duration: SimDuration,
+    /// Export epoch: one JSONL line per epoch.
+    pub epoch: SimDuration,
+    /// Domain count for the parallel driver (1 = single-thread oracle).
+    pub domains: u16,
+    /// Every host heartbeats its partner at this period.
+    pub hb_period: SimDuration,
+    /// Every 10th host also blasts CBR noise at this period.
+    pub cbr_period: SimDuration,
+}
+
+impl GiantParams {
+    /// The full 10,000-host scenario: 16 spines × 500 leaves × 20 hosts,
+    /// 180 s of virtual time. Domain count comes from `INT_SIM_DOMAINS`.
+    pub fn full_scale(seed: u64) -> GiantParams {
+        GiantParams {
+            seed,
+            spines: 16,
+            leaves: 500,
+            hosts_per_leaf: 20,
+            duration: SimDuration::from_secs(180),
+            epoch: SimDuration::from_secs(1),
+            domains: int_netsim::par::domains_from_env(),
+            hb_period: SimDuration::from_millis(200),
+            cbr_period: SimDuration::from_millis(20),
+        }
+    }
+
+    /// Shrink every axis by `scale` (floors keep the fabric a real Clos).
+    pub fn at_scale(seed: u64, scale: f64) -> GiantParams {
+        let full = Self::full_scale(seed);
+        let dim = |v: u32, lo: u32| (((v as f64) * scale).round() as u32).max(lo);
+        GiantParams {
+            spines: dim(full.spines, 2),
+            leaves: dim(full.leaves, 4),
+            hosts_per_leaf: dim(full.hosts_per_leaf, 2),
+            duration: SimDuration::from_secs(
+                (((full.duration.as_secs_f64()) * scale).round() as u64).max(2),
+            ),
+            ..full
+        }
+    }
+
+    /// Host count this shape produces.
+    pub fn hosts(&self) -> u32 {
+        self.leaves * self.hosts_per_leaf
+    }
+}
+
+/// Deterministic artifact summary (everything here must be identical
+/// across `INT_SIM_DOMAINS` and `INT_OBS_STREAM` settings).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct GiantOut {
+    pub params: GiantParams,
+    /// Domains the partitioner actually produced.
+    pub domains: u16,
+    /// Barrier-window width the cut guarantees, ns.
+    pub lookahead_ns: u64,
+    pub hosts: u32,
+    pub switches: u32,
+    /// Epoch lines written to the JSONL artifact.
+    pub epochs: u64,
+    /// Bytes of the JSONL artifact (newline framing included).
+    pub export_bytes: u64,
+    /// Whether the export streamed to disk or accumulated in core.
+    pub streamed: bool,
+    /// Merged ground-truth counters at end of run.
+    pub stats: NetStats,
+    /// Datagrams received by host apps (heartbeats + noise).
+    pub delivered: u64,
+}
+
+/// One app per host: heartbeats a fixed partner, counts what it receives,
+/// and (on every 10th host) blasts CBR noise to load the spine tier.
+struct GiantHost {
+    id: u32,
+    partner: Ipv4Addr,
+    hb_period: SimDuration,
+    /// `None` on non-noise hosts.
+    cbr_period: Option<SimDuration>,
+    got: u64,
+}
+
+const TIMER_HB: u64 = 1;
+const TIMER_CBR: u64 = 2;
+const PORT: u16 = 7100;
+
+impl App for GiantHost {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.bind_udp(PORT);
+        // Deterministic per-host phase spreads the first wave of timers
+        // so 10k hosts do not fire on the same nanosecond.
+        let phase = (self.id as u64).wrapping_mul(10_007) % self.hb_period.as_nanos();
+        ctx.set_timer(SimDuration::from_nanos(phase + 1), TIMER_HB);
+        if let Some(cbr) = self.cbr_period {
+            let phase = (self.id as u64).wrapping_mul(257) % cbr.as_nanos();
+            ctx.set_timer(SimDuration::from_nanos(phase + 1), TIMER_CBR);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AppCtx<'_>, timer_id: u64) {
+        match timer_id {
+            TIMER_HB => {
+                ctx.send_udp(PORT, self.partner, PORT, vec![0x48; 64]);
+                ctx.set_timer(self.hb_period, TIMER_HB);
+            }
+            TIMER_CBR => {
+                let cbr = self.cbr_period.expect("timer only armed with a period");
+                ctx.send_udp(PORT, self.partner, PORT, vec![0xC8; 1024]);
+                ctx.set_timer(cbr, TIMER_CBR);
+            }
+            _ => unreachable!("unknown timer {timer_id}"),
+        }
+    }
+
+    fn on_udp(
+        &mut self,
+        _ctx: &mut AppCtx<'_>,
+        _from: Ipv4Addr,
+        _from_port: u16,
+        _to_port: u16,
+        _payload: &[u8],
+    ) {
+        self.got += 1;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Run the giant scenario, streaming one JSONL line per epoch to
+/// `<results>/giant.jsonl`. Returns the deterministic summary.
+pub fn run(p: &GiantParams) -> std::io::Result<GiantOut> {
+    let host_link = LinkParams {
+        bandwidth_bps: 1_000_000_000,
+        delay: SimDuration::from_millis(10),
+        queue_cap_pkts: 64,
+    };
+    let uplink = LinkParams {
+        bandwidth_bps: 10_000_000_000,
+        delay: SimDuration::from_nanos(UPLINK_DELAY_NS),
+        queue_cap_pkts: 64,
+    };
+    let clos = ClosParams {
+        spines: p.spines,
+        leaves: p.leaves,
+        hosts_per_leaf: p.hosts_per_leaf,
+        link: host_link,
+    };
+    let fabric = clos.build_tiered(uplink);
+    let hosts = fabric.hosts;
+    let switches = (fabric.topo.nodes.len() - hosts.len()) as u32;
+    let routes = ClosRoutes::new(
+        p.spines,
+        p.leaves,
+        p.hosts_per_leaf,
+        host_link.delay,
+        uplink.delay,
+    );
+
+    let cfg = SimConfig { seed: p.seed, ecmp: EcmpSelect::FlowHash, ..SimConfig::default() };
+    let mut sim = ParSim::new_clos(fabric.topo, routes, cfg, p.domains);
+    sim.set_metrics_enabled(true);
+
+    let n = hosts.len() as u32;
+    let mut app_idx = Vec::with_capacity(hosts.len());
+    for (i, &h) in hosts.iter().enumerate() {
+        let partner = hosts[((i as u32 + n / 2) % n) as usize];
+        let app = GiantHost {
+            id: i as u32,
+            partner: Topology::host_ip(partner),
+            hb_period: p.hb_period,
+            cbr_period: (i % 10 == 0).then_some(p.cbr_period),
+            got: 0,
+        };
+        app_idx.push((h, sim.install_app(h, Box::new(app))));
+    }
+
+    let dir = report::results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let streamed = streaming_enabled();
+    let mut writer = EpochWriter::create(&dir.join("giant.jsonl"), streamed)?;
+
+    let end = p.duration.as_nanos();
+    let epoch = p.epoch.as_nanos().max(1);
+    let epochs = end.div_ceil(epoch);
+    for k in 1..=epochs {
+        let t = (k * epoch).min(end);
+        sim.run_until(SimTime(t));
+        let stats = serde_json::to_string(&sim.stats()).expect("stats serialize");
+        let metrics = sim.merged_metrics().snapshot_json();
+        writer.write_line(&format!(
+            "{{\"epoch\":{k},\"t_ns\":{t},\"stats\":{stats},\"metrics\":{metrics}}}"
+        ))?;
+    }
+    let wstats = writer.finish()?;
+
+    let delivered: u64 = app_idx
+        .iter()
+        .map(|&(h, i)| sim.app::<GiantHost>(h, i).expect("installed above").got)
+        .sum();
+
+    Ok(GiantOut {
+        params: p.clone(),
+        domains: sim.domains(),
+        lookahead_ns: sim.partition().lookahead.as_nanos(),
+        hosts: n,
+        switches,
+        epochs: wstats.lines,
+        export_bytes: wstats.bytes,
+        streamed,
+        stats: sim.stats(),
+        delivered,
+    })
+}
+
+/// Human summary table.
+pub fn render(out: &GiantOut) -> String {
+    let rows = vec![
+        vec!["hosts".to_string(), out.hosts.to_string()],
+        vec!["switches".to_string(), out.switches.to_string()],
+        vec!["domains".to_string(), out.domains.to_string()],
+        vec!["lookahead_ns".to_string(), out.lookahead_ns.to_string()],
+        vec!["virtual_s".to_string(), format!("{:.0}", out.params.duration.as_secs_f64())],
+        vec!["epoch_lines".to_string(), out.epochs.to_string()],
+        vec!["export_bytes".to_string(), out.export_bytes.to_string()],
+        vec!["streamed".to_string(), out.streamed.to_string()],
+        vec!["events".to_string(), out.stats.events_processed.to_string()],
+        vec!["delivered".to_string(), out.delivered.to_string()],
+        vec!["drops".to_string(), out.stats.total_drops().to_string()],
+    ];
+    crate::report::table(&["giant", "value"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(seed: u64, domains: u16) -> GiantParams {
+        GiantParams {
+            seed,
+            spines: 2,
+            leaves: 4,
+            hosts_per_leaf: 2,
+            duration: SimDuration::from_secs(2),
+            epoch: SimDuration::from_millis(500),
+            domains,
+            hb_period: SimDuration::from_millis(100),
+            cbr_period: SimDuration::from_millis(25),
+        }
+    }
+
+    /// The end-to-end giant pipeline at toy scale: runs, exports, and is
+    /// byte-identical across domain counts (artifact + summary).
+    #[test]
+    fn giant_artifacts_are_domain_invariant() {
+        let _env = crate::report::ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("int_giant_test_{}", std::process::id()));
+        std::env::set_var("INT_RESULTS_DIR", &dir);
+        let run_one = |domains: u16| {
+            let out = run(&tiny(11, domains)).expect("giant run");
+            let jsonl = std::fs::read(dir.join("giant.jsonl")).expect("artifact");
+            (out, jsonl)
+        };
+        let (o1, a1) = run_one(1);
+        let (o2, a2) = run_one(2);
+        let (o4, a4) = run_one(4);
+        std::env::remove_var("INT_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert!(o1.delivered > 100, "toy scenario too quiet: {o1:?}");
+        assert_eq!(o1.epochs, 4);
+        assert_eq!(o2.domains, 2);
+        assert_eq!(a1, a2, "1 vs 2 domain artifacts differ");
+        assert_eq!(a1, a4, "1 vs 4 domain artifacts differ");
+        assert_eq!(o1.stats, o2.stats);
+        assert_eq!(o1.stats, o4.stats);
+        assert_eq!(o1.delivered, o2.delivered);
+        assert_eq!(o1.delivered, o4.delivered);
+    }
+
+    #[test]
+    fn scale_floors_keep_a_real_clos() {
+        let p = GiantParams::at_scale(1, 0.001);
+        assert!(p.spines >= 2 && p.leaves >= 4 && p.hosts_per_leaf >= 2);
+        assert!(p.duration.as_nanos() >= SimDuration::from_secs(2).as_nanos());
+        assert_eq!(GiantParams::full_scale(1).hosts(), 10_000);
+    }
+}

@@ -36,6 +36,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod giant;
 pub mod overhead;
 pub mod report;
 pub mod runner;

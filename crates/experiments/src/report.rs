@@ -65,6 +65,51 @@ pub fn load_json<T: serde::de::DeserializeOwned>(path: &Path) -> std::io::Result
     serde_json::from_str(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
+/// Logical cores visible to this process — recorded alongside every
+/// wall-clock number so readers can judge what parallel speedups were
+/// even observable (the CI container has one).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux or if the field is missing.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Run metadata every experiment records next to its artifact.
+#[derive(Debug, Serialize, serde::Deserialize)]
+pub struct RunMeta {
+    /// Wall-clock duration of the run, seconds.
+    pub wall_clock_s: f64,
+    /// Peak RSS in kB (`None` when the platform cannot report it).
+    pub peak_rss_kb: Option<u64>,
+    /// Logical cores available to the process.
+    pub host_cores: usize,
+}
+
+impl RunMeta {
+    /// Capture metadata for a run that took `wall_clock_s` seconds.
+    pub fn capture(wall_clock_s: f64) -> RunMeta {
+        RunMeta { wall_clock_s, peak_rss_kb: peak_rss_kb(), host_cores: host_cores() }
+    }
+}
+
+/// Persist run metadata as a `<name>.runmeta.json` sidecar, keeping
+/// nondeterministic measurements (wall clock, RSS) out of the byte-stable
+/// artifact the determinism smokes `cmp`. Returns the sidecar path.
+pub fn save_runmeta(name: &str, meta: &RunMeta) -> std::io::Result<PathBuf> {
+    save_json(&format!("{name}.runmeta"), meta)
+}
+
+/// Tests that point `INT_RESULTS_DIR` somewhere take this lock — process
+/// environment is shared across the parallel test threads.
+#[cfg(test)]
+pub(crate) static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,11 +141,35 @@ mod tests {
     }
 
     #[test]
+    fn host_cores_and_rss_are_sane() {
+        assert!(host_cores() >= 1);
+        if cfg!(target_os = "linux") {
+            // VmHWM exists on any Linux and a test process uses some memory.
+            assert!(peak_rss_kb().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn runmeta_sidecar_lands_next_to_the_artifact() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("int_runmeta_{}", std::process::id()));
+        std::env::set_var("INT_RESULTS_DIR", &dir);
+        let path = save_runmeta("giant_test", &RunMeta::capture(1.5)).unwrap();
+        std::env::remove_var("INT_RESULTS_DIR");
+        assert!(path.ends_with("giant_test.runmeta.json"));
+        let meta: RunMeta = load_json(&path).unwrap();
+        assert_eq!(meta.wall_clock_s, 1.5);
+        assert!(meta.host_cores >= 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn json_roundtrip() {
         #[derive(Serialize, serde::Deserialize, PartialEq, Debug)]
         struct Tiny {
             x: u32,
         }
+        let _env = ENV_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("int_exp_test_results");
         std::env::set_var("INT_RESULTS_DIR", &dir);
         let path = save_json("tiny", &Tiny { x: 7 }).unwrap();

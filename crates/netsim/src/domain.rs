@@ -1,0 +1,399 @@
+//! Latency-based domain partitioning for the conservative parallel
+//! engine.
+//!
+//! A *domain* is a set of nodes whose internal links are "fast" relative
+//! to the links that cross domain boundaries. The conservative parallel
+//! driver ([`ParSim`](crate::par::ParSim)) runs one event loop per
+//! domain and synchronizes them in barrier windows whose width is the
+//! **lookahead**: the minimum propagation delay over all cross-domain
+//! links. A frame transmitted in window `[s, s+L)` toward another domain
+//! cannot arrive before `s + L`, so every domain can process its window
+//! without hearing from the others — the textbook conservative-DES
+//! safety argument, with link latency as the physical source of
+//! lookahead.
+//!
+//! The partitioner therefore wants cuts on *slow* links: it contracts
+//! every host attachment (hosts always stay with their switch — their
+//! traffic is the dominant event stream and must never cross a barrier)
+//! and every switch-switch link faster than a threshold `θ`, then picks
+//! the largest `θ` that still leaves enough connected atoms to fill the
+//! requested domain count. Atoms are then grouped into contiguous
+//! balanced blocks in first-node order. Everything is deterministic:
+//! same topology + same request ⇒ same partition.
+
+use crate::time::SimDuration;
+use crate::topology::{NodeKind, Topology};
+
+/// A deterministic assignment of every node to a domain, plus the
+/// lookahead the cut guarantees.
+#[derive(Debug, Clone)]
+pub struct DomainPartition {
+    /// Domain of each node (index = `NodeId.0`).
+    pub domain_of: Vec<u16>,
+    /// Number of domains actually produced (≤ the requested count when
+    /// the topology has fewer contractible atoms than requested).
+    pub domains: u16,
+    /// Minimum delay over cross-domain links — the barrier window
+    /// width. `u64::MAX` ns when nothing crosses (single domain or
+    /// disconnected components), meaning "no synchronization needed".
+    pub lookahead: SimDuration,
+}
+
+/// Plain union-find over node indices.
+struct Uf(Vec<u32>);
+
+impl Uf {
+    fn new(n: usize) -> Self {
+        Uf((0..n as u32).collect())
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        let mut r = x;
+        while self.0[r as usize] != r {
+            r = self.0[r as usize];
+        }
+        // Path compression.
+        let mut c = x;
+        while self.0[c as usize] != r {
+            let next = self.0[c as usize];
+            self.0[c as usize] = r;
+            c = next;
+        }
+        r
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.0[hi as usize] = lo;
+        }
+    }
+}
+
+impl DomainPartition {
+    /// Partition `topo` into (at most) `want` domains.
+    ///
+    /// `want == 1`, or a topology with no cuttable links, yields the
+    /// trivial single-domain partition with unbounded lookahead.
+    pub fn compute(topo: &Topology, want: u16) -> DomainPartition {
+        assert!(want >= 1, "domain count must be at least 1");
+        let n = topo.nodes.len();
+        if n == 0 {
+            return DomainPartition {
+                domain_of: Vec::new(),
+                domains: 1,
+                lookahead: SimDuration::from_nanos(u64::MAX),
+            };
+        }
+
+        // A link is *never* cuttable if it touches a host (hosts stay
+        // with their switch) or has zero delay (a zero-width barrier
+        // window would never advance).
+        let sticky = |l: &crate::topology::LinkSpec| {
+            topo.node(l.a.0).kind == NodeKind::Host
+                || topo.node(l.b.0).kind == NodeKind::Host
+                || l.params.delay.as_nanos() == 0
+        };
+
+        // Candidate thresholds: distinct delays of cuttable links, in
+        // descending order. Contracting all links with delay < θ leaves
+        // the atoms; larger θ ⇒ fewer atoms but a fatter guaranteed cut.
+        let mut thresholds: Vec<u64> = topo
+            .links
+            .iter()
+            .filter(|l| !sticky(l))
+            .map(|l| l.params.delay.as_nanos())
+            .collect();
+        thresholds.sort_unstable_by(|a, b| b.cmp(a));
+        thresholds.dedup();
+
+        let atoms_for = |theta: u64| -> Uf {
+            let mut uf = Uf::new(n);
+            for l in &topo.links {
+                if sticky(l) || l.params.delay.as_nanos() < theta {
+                    uf.union(l.a.0.0, l.b.0.0);
+                }
+            }
+            uf
+        };
+        let count_atoms = |uf: &mut Uf| -> usize {
+            (0..n as u32).filter(|&i| uf.find(i) == i).count()
+        };
+
+        // Largest θ whose contraction still yields ≥ `want` atoms; fall
+        // back to the finest contraction (θ = smallest distinct delay,
+        // contracting only sticky links) and clamp the domain count.
+        let mut chosen: Option<Uf> = None;
+        for &theta in &thresholds {
+            let mut uf = atoms_for(theta);
+            if count_atoms(&mut uf) >= want as usize {
+                chosen = Some(uf);
+                break;
+            }
+        }
+        let mut uf = chosen.unwrap_or_else(|| {
+            atoms_for(thresholds.last().copied().unwrap_or(0))
+        });
+        let atoms = count_atoms(&mut uf);
+        let domains = (want as usize).min(atoms).max(1) as u16;
+
+        // Atom index by first-appearance order, then contiguous
+        // balanced blocks of atoms per domain.
+        let mut atom_idx = vec![usize::MAX; n];
+        let mut next = 0usize;
+        let mut domain_of = vec![0u16; n];
+        for i in 0..n as u32 {
+            let r = uf.find(i) as usize;
+            if atom_idx[r] == usize::MAX {
+                atom_idx[r] = next;
+                next += 1;
+            }
+            domain_of[i as usize] = (atom_idx[r] * domains as usize / atoms) as u16;
+        }
+
+        // Lookahead: the narrowest link the cut actually severed.
+        let lookahead_ns = topo
+            .links
+            .iter()
+            .filter(|l| domain_of[l.a.0.0 as usize] != domain_of[l.b.0.0 as usize])
+            .map(|l| l.params.delay.as_nanos())
+            .min()
+            .unwrap_or(u64::MAX);
+
+        DomainPartition {
+            domain_of,
+            domains,
+            lookahead: SimDuration::from_nanos(lookahead_ns),
+        }
+    }
+
+    /// Domain of a node.
+    pub fn domain(&self, node: crate::topology::NodeId) -> u16 {
+        self.domain_of[node.0 as usize]
+    }
+
+    /// Check every invariant the parallel driver relies on; returns a
+    /// description of the first violation. Also exercised wholesale by
+    /// the proptest below.
+    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+        if self.domain_of.len() != topo.nodes.len() {
+            return Err(format!(
+                "partition covers {} nodes, topology has {}",
+                self.domain_of.len(),
+                topo.nodes.len()
+            ));
+        }
+        if self.domains == 0 {
+            return Err("zero domains".into());
+        }
+        for (i, &d) in self.domain_of.iter().enumerate() {
+            if d >= self.domains {
+                return Err(format!("node {i} assigned domain {d} of {}", self.domains));
+            }
+        }
+        let la = self.lookahead.as_nanos();
+        for l in &topo.links {
+            let (da, db) = (
+                self.domain_of[l.a.0.0 as usize],
+                self.domain_of[l.b.0.0 as usize],
+            );
+            if da != db {
+                let d = l.params.delay.as_nanos();
+                if d < la {
+                    return Err(format!(
+                        "cut link {} has delay {d} ns < lookahead {la} ns",
+                        l.id.0
+                    ));
+                }
+                if topo.node(l.a.0).kind == NodeKind::Host
+                    || topo.node(l.b.0).kind == NodeKind::Host
+                {
+                    return Err(format!("host attachment {} crosses domains", l.id.0));
+                }
+            }
+        }
+        // Every host shares its domain with everything it attaches to.
+        for node in &topo.nodes {
+            if node.kind == NodeKind::Host {
+                for pb in &node.ports {
+                    if self.domain_of[node.id.0 as usize]
+                        != self.domain_of[pb.peer.0 as usize]
+                    {
+                        return Err(format!("host {} split from its switch", node.id));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use crate::topology::{ClosParams, LinkParams, NodeId};
+
+    fn params(ns: u64) -> LinkParams {
+        LinkParams {
+            bandwidth_bps: 20_000_000,
+            delay: SimDuration::from_nanos(ns),
+            queue_cap_pkts: 64,
+        }
+    }
+
+    fn tiered_clos(spines: u32, leaves: u32, hpl: u32) -> Topology {
+        // Host attachments fast, leaf-spine uplinks slow — the shape
+        // the partitioner is built for.
+        ClosParams {
+            spines,
+            leaves,
+            hosts_per_leaf: hpl,
+            link: params(1_000_000),
+        }
+        .build_tiered(params(5_000_000))
+        .topo
+    }
+
+    #[test]
+    fn single_domain_is_trivial() {
+        let t = tiered_clos(2, 4, 2);
+        let p = DomainPartition::compute(&t, 1);
+        assert_eq!(p.domains, 1);
+        assert!(p.domain_of.iter().all(|&d| d == 0));
+        assert_eq!(p.lookahead.as_nanos(), u64::MAX, "nothing crosses");
+        p.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn tiered_clos_cuts_on_uplinks() {
+        let t = tiered_clos(2, 4, 2);
+        for want in [2u16, 4] {
+            let p = DomainPartition::compute(&t, want);
+            assert_eq!(p.domains, want);
+            // Cuts land on the slow tier only.
+            assert_eq!(p.lookahead.as_nanos(), 5_000_000);
+            p.validate(&t).unwrap();
+            // Hosts ride with their leaf.
+            for h in 0..8u32 {
+                assert_eq!(
+                    p.domain(NodeId(h)),
+                    p.domain(NodeId(8 + h / 2)),
+                    "host {h} with leaf"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_clos_still_partitions() {
+        // Uniform delays: every switch-switch link is an equal cut
+        // candidate; the finest contraction (atom per switch) applies.
+        let t = ClosParams {
+            spines: 2,
+            leaves: 4,
+            hosts_per_leaf: 2,
+            link: params(10_000_000),
+        }
+        .build()
+        .topo;
+        let p = DomainPartition::compute(&t, 4);
+        assert_eq!(p.domains, 4);
+        assert_eq!(p.lookahead.as_nanos(), 10_000_000);
+        p.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn domain_request_clamps_to_atom_count() {
+        // One switch, two hosts: a single atom no matter what we ask.
+        let mut t = Topology::new();
+        let s = t.add_switch("s");
+        let h1 = t.add_host("h1");
+        let h2 = t.add_host("h2");
+        t.add_link(h1, s, params(1000));
+        t.add_link(h2, s, params(1000));
+        let p = DomainPartition::compute(&t, 8);
+        assert_eq!(p.domains, 1);
+        p.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn deterministic_across_recompute() {
+        let t = tiered_clos(3, 6, 2);
+        let a = DomainPartition::compute(&t, 4);
+        let b = DomainPartition::compute(&t, 4);
+        assert_eq!(a.domain_of, b.domain_of);
+        assert_eq!(a.lookahead, b.lookahead);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random multi-tier topology: a random switch tree with random
+        /// extra edges, random per-link delays from a small tiered set,
+        /// and hosts hung off random switches.
+        fn arb_topo() -> impl Strategy<Value = (Topology, u16)> {
+            (
+                2usize..24,                                 // switches
+                proptest::collection::vec(0usize..100, 0..20), // extra edges
+                proptest::collection::vec(0usize..4, 1..40),   // hosts: switch pick
+                proptest::collection::vec(0usize..4, 0..64),   // delay picks
+                1u16..=6,                                   // requested domains
+            )
+                .prop_map(|(ns, extra, hosts, delays, want)| {
+                    const TIERS: [u64; 4] = [250_000, 1_000_000, 5_000_000, 12_000_019];
+                    let delay_at = |i: usize| {
+                        TIERS[delays.get(i).copied().unwrap_or(i % 4) % 4]
+                    };
+                    let mut t = Topology::new();
+                    let mut di = 0usize;
+                    let sw: Vec<_> =
+                        (0..ns).map(|i| t.add_switch(format!("s{i}"))).collect();
+                    // Spanning tree: switch i links to an earlier switch.
+                    for i in 1..ns {
+                        let j = delays.get(i).copied().unwrap_or(0) % i;
+                        t.add_link(sw[i], sw[j], params(delay_at(di)));
+                        di += 1;
+                    }
+                    // Extra switch-switch edges (skip self/duplicates
+                    // loosely; parallel links are legal in Topology).
+                    for &e in &extra {
+                        let a = e % ns;
+                        let b = (e / 7 + 1 + a) % ns;
+                        if a != b {
+                            t.add_link(sw[a], sw[b], params(delay_at(di)));
+                            di += 1;
+                        }
+                    }
+                    // Hosts on random switches, fast attachments.
+                    for (i, &pick) in hosts.iter().enumerate() {
+                        let h = t.add_host(format!("h{i}"));
+                        t.add_link(h, sw[pick % ns], params(250_000));
+                    }
+                    (t, want)
+                })
+        }
+
+        proptest! {
+            /// Satellite 1: every generated partition covers all nodes
+            /// exactly once, every cross-domain link's latency is at
+            /// least the advertised lookahead, and hosts land in the
+            /// same domain as their switch — `validate` checks all
+            /// three, plus domain-index range sanity.
+            #[test]
+            fn partition_invariants_hold(tw in arb_topo()) {
+                let (t, want) = tw;
+                let p = DomainPartition::compute(&t, want);
+                prop_assert!(p.domains >= 1 && p.domains <= want);
+                prop_assert_eq!(p.domain_of.len(), t.nodes.len());
+                if let Err(e) = p.validate(&t) {
+                    panic!("partition invariant violated: {e}");
+                }
+                // Recompute is bit-identical (pure function).
+                let q = DomainPartition::compute(&t, want);
+                prop_assert_eq!(p.domain_of, q.domain_of);
+            }
+        }
+    }
+}

@@ -19,7 +19,7 @@ use crate::event::{ConnId, Event, EventQueue};
 use crate::fault::{FaultPlan, FaultState};
 use crate::pool::{BufPool, PoolStats};
 use crate::queue::{DropTailQueue, QueueStats};
-use crate::routing::RouteTable;
+use crate::routing::{ClosNodeKind, ClosRoutes, RouteTable, Routes};
 use crate::stats::NetStats;
 use crate::tcp::{TcpConfig, TcpHost};
 use crate::trace::{TrafficAccountant, TrafficClass};
@@ -35,6 +35,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Per-port runtime state.
 struct PortState {
@@ -119,10 +120,43 @@ fn ecmp_group(primary: PortId, equal: Vec<PortId>) -> Vec<PortId> {
     group
 }
 
+/// A frame crossing a domain boundary in a partitioned run: everything
+/// the receiving domain needs to re-schedule the `Arrive`, plus the
+/// `(sent_at, src_domain, seq)` tie-break key that makes the merged
+/// injection order a pure function of the traffic (not of thread timing).
+pub(crate) struct CrossMsg {
+    pub(crate) at: SimTime,
+    pub(crate) sent_at: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) port: PortId,
+    pub(crate) src_domain: u16,
+    pub(crate) seq: u64,
+    pub(crate) frame: Box<Frame>,
+}
+
+/// Per-domain context for a partitioned run. `None` on an ordinary
+/// simulator: the data path then behaves exactly as before.
+pub(crate) struct DomainCtx {
+    /// This simulator's domain id.
+    id: u16,
+    /// `of[node]` = owning domain of every node (shared across domains).
+    of: Arc<Vec<u16>>,
+    /// Frames headed to foreign nodes, collected until the next barrier.
+    outbox: Vec<CrossMsg>,
+    /// Monotone per-domain sequence for the cross-message tie-break.
+    seq: u64,
+}
+
+impl DomainCtx {
+    pub(crate) fn new(id: u16, of: Arc<Vec<u16>>) -> DomainCtx {
+        DomainCtx { id, of, outbox: Vec::new(), seq: 0 }
+    }
+}
+
 /// The discrete-event network simulator.
 pub struct Simulator {
-    topo: Topology,
-    routes: RouteTable,
+    topo: Arc<Topology>,
+    routes: Arc<Routes>,
     cfg: SimConfig,
     now: SimTime,
     events: EventQueue,
@@ -156,6 +190,8 @@ pub struct Simulator {
     /// so selection can hash across ports and — crucially — fail over to a
     /// live member when a fault retires the memoized primary.
     host_uplinks: Vec<HostRouteTable>,
+    /// `Some` only when this simulator is one domain of a partitioned run.
+    domain: Option<DomainCtx>,
 }
 
 /// A host's build-time route state: one equal-cost port group per
@@ -182,7 +218,41 @@ impl Simulator {
     /// INT-programmed switches, and installs host routes into every switch.
     pub fn new(topo: Topology, cfg: SimConfig) -> Simulator {
         topo.validate().expect("invalid topology");
-        let routes = RouteTable::compute(&topo);
+        let routes = Routes::Table(RouteTable::compute(&topo));
+        Self::build(Arc::new(topo), Arc::new(routes), cfg, None)
+    }
+
+    /// Build a simulator over a Clos fabric using structural O(1) routing
+    /// instead of an all-pairs route table. The topology must have been
+    /// produced by [`crate::topology::ClosParams::build`] /
+    /// [`crate::topology::ClosParams::build_tiered`] with the same shape as
+    /// `clos` — construction asserts the node count matches. This is what
+    /// makes 10k-host fabrics constructible: the dense table is O(n²)
+    /// memory plus n Dijkstra runs, the structural form is O(1).
+    pub fn new_clos(topo: Topology, clos: ClosRoutes, cfg: SimConfig) -> Simulator {
+        topo.validate().expect("invalid topology");
+        assert_eq!(
+            topo.nodes.len() as u32,
+            clos.hosts() + clos.leaves() + clos.spines(),
+            "ClosRoutes shape does not match topology"
+        );
+        Self::build(Arc::new(topo), Arc::new(Routes::Clos(clos)), cfg, None)
+    }
+
+    /// Shared constructor body. `domain` scopes construction to one domain
+    /// of a partitioned run: foreign nodes still get (dead-weight) state so
+    /// indices line up, but no routes are installed into them and no host
+    /// uplink tables are built for them.
+    pub(crate) fn build(
+        topo: Arc<Topology>,
+        routes: Arc<Routes>,
+        cfg: SimConfig,
+        domain: Option<DomainCtx>,
+    ) -> Simulator {
+        let owns = |n: NodeId| match &domain {
+            Some(d) => d.of[n.0 as usize] == d.id,
+            None => true,
+        };
 
         let mut nodes = Vec::with_capacity(topo.nodes.len());
         for spec in &topo.nodes {
@@ -217,15 +287,60 @@ impl Simulator {
                         int_enabled: cfg.int_enabled,
                     }));
                     program.set_ecmp_select(cfg.ecmp);
-                    // Control plane: /32 ECMP routes for every host. The
-                    // group's primary is the old single-path `egress_port`
-                    // answer, so Primary selection forwards identically to
-                    // the pre-multipath control plane.
-                    for host in topo.hosts() {
-                        if let Some(primary) = routes.egress_port(&topo, spec.id, host) {
-                            let group =
-                                ecmp_group(primary, routes.equal_cost_ports(&topo, spec.id, host));
-                            program.install_host_route_multi(Topology::host_ip(host), &group);
+                    if owns(spec.id) {
+                        match &*routes {
+                            // Control plane: /32 ECMP routes for every host.
+                            // The group's primary is the old single-path
+                            // `egress_port` answer, so Primary selection
+                            // forwards identically to the pre-multipath
+                            // control plane.
+                            Routes::Table(rt) => {
+                                for host in topo.hosts() {
+                                    if let Some(primary) = rt.egress_port(&topo, spec.id, host) {
+                                        let group = ecmp_group(
+                                            primary,
+                                            rt.equal_cost_ports(&topo, spec.id, host),
+                                        );
+                                        program
+                                            .install_host_route_multi(Topology::host_ip(host), &group);
+                                    }
+                                }
+                            }
+                            // Structural Clos control plane: a leaf holds /32s
+                            // for its own hosts plus one default ECMP group
+                            // over its uplinks; a spine holds one /32 per host
+                            // pointing at that host's leaf. O(hosts) total
+                            // routes instead of O(switches × hosts) groups.
+                            Routes::Clos(c) => match c.kind_of(spec.id) {
+                                ClosNodeKind::Leaf(l) => {
+                                    let hpl = c.hosts_per_leaf();
+                                    for j in 0..hpl {
+                                        let host = NodeId(l * hpl + j);
+                                        program.install_host_route(
+                                            Topology::host_ip(host),
+                                            j as PortId,
+                                        );
+                                    }
+                                    program.install_route_multi(
+                                        Ipv4Addr::new(0, 0, 0, 0),
+                                        0,
+                                        &c.leaf_uplink_ports(),
+                                    );
+                                }
+                                ClosNodeKind::Spine(_) => {
+                                    let hpl = c.hosts_per_leaf();
+                                    for host in 0..c.hosts() {
+                                        program.install_route(
+                                            Topology::host_ip(NodeId(host)),
+                                            32,
+                                            c.spine_port_to_leaf(host / hpl),
+                                        );
+                                    }
+                                }
+                                ClosNodeKind::Host(_) => {
+                                    unreachable!("Clos host classified as switch")
+                                }
+                            },
                         }
                     }
                     nodes.push(NodeState::Switch(SwitchState {
@@ -239,21 +354,26 @@ impl Simulator {
 
         let n = topo.nodes.len();
         let mut host_uplinks: Vec<HostRouteTable> = (0..n).map(|_| HostRouteTable::default()).collect();
-        for spec in &topo.nodes {
-            if matches!(spec.kind, NodeKind::Host) {
-                let mut table = HostRouteTable::default();
-                let mut index: HashMap<Vec<PortId>, u16> = HashMap::new();
-                for d in 0..n {
-                    let dst = NodeId(d as u32);
-                    let primary = routes.egress_port(&topo, spec.id, dst).unwrap_or(0);
-                    let group = ecmp_group(primary, routes.equal_cost_ports(&topo, spec.id, dst));
-                    let g = *index.entry(group.clone()).or_insert_with(|| {
-                        table.groups.push(group);
-                        (table.groups.len() - 1) as u16
-                    });
-                    table.group_of.push(g);
+        // Clos mode leaves every row empty: a Clos host has exactly one
+        // port, and `host_uplink`'s `group() == None` path already falls
+        // back to port 0, so no per-destination table is needed.
+        if let Routes::Table(rt) = &*routes {
+            for spec in &topo.nodes {
+                if matches!(spec.kind, NodeKind::Host) && owns(spec.id) {
+                    let mut table = HostRouteTable::default();
+                    let mut index: HashMap<Vec<PortId>, u16> = HashMap::new();
+                    for d in 0..n {
+                        let dst = NodeId(d as u32);
+                        let primary = rt.egress_port(&topo, spec.id, dst).unwrap_or(0);
+                        let group = ecmp_group(primary, rt.equal_cost_ports(&topo, spec.id, dst));
+                        let g = *index.entry(group.clone()).or_insert_with(|| {
+                            table.groups.push(group);
+                            (table.groups.len() - 1) as u16
+                        });
+                        table.group_of.push(g);
+                    }
+                    host_uplinks[spec.id.0 as usize] = table;
                 }
-                host_uplinks[spec.id.0 as usize] = table;
             }
         }
 
@@ -275,6 +395,7 @@ impl Simulator {
             trace: TraceRing::default(),
             trace_scratch: Vec::new(),
             host_uplinks,
+            domain,
         }
     }
 
@@ -381,8 +502,18 @@ impl Simulator {
         &self.topo
     }
 
-    /// The routing state (paths, distances, hop counts).
+    /// The dense routing table (paths, distances, hop counts).
+    ///
+    /// Panics on a simulator built with [`Simulator::new_clos`] — structural
+    /// Clos routing has no dense table; use [`Simulator::routing`] there.
     pub fn routes(&self) -> &RouteTable {
+        self.routes
+            .table()
+            .expect("routes(): built with structural Clos routing; use routing()")
+    }
+
+    /// The routing state in either form (dense table or structural Clos).
+    pub fn routing(&self) -> &Routes {
         &self.routes
     }
 
@@ -450,7 +581,6 @@ impl Simulator {
             let (at, event) = self.events.pop().expect("peeked");
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
-            self.stats.events_processed += 1;
             self.dispatch(event);
         }
         self.now = t;
@@ -469,6 +599,21 @@ impl Simulator {
     // ------------------------------------------------------------ dispatch
 
     fn dispatch(&mut self, event: Event) {
+        if let Event::Fault(action) = event {
+            // Fault transitions are mirrored into every domain of a
+            // partitioned run (each needs the state flip for its local
+            // liveness checks), but only the owning domain counts and
+            // traces the event, so summed stats match the oracle exactly.
+            if let Some(f) = &mut self.faults {
+                f.apply(action);
+            }
+            if self.owns_fault(action) {
+                self.stats.events_processed += 1;
+                self.trace_fault(action);
+            }
+            return;
+        }
+        self.stats.events_processed += 1;
         match event {
             Event::Arrive { node, port, frame } => self.handle_arrive(node, port, frame),
             Event::TxDone { node, port } => self.handle_tx_done(node, port),
@@ -482,12 +627,37 @@ impl Simulator {
                 }
                 self.flush_tcp(node);
             }
-            Event::Fault(action) => {
-                if let Some(f) = &mut self.faults {
-                    f.apply(action);
-                }
-                self.trace_fault(action);
-            }
+            Event::Fault(_) => unreachable!("handled above"),
+        }
+    }
+
+    /// The owner of a fault transition: the `a`-endpoint's domain for link
+    /// events, the subject switch's domain for switch events.
+    fn owns_fault(&self, action: crate::fault::FaultAction) -> bool {
+        use crate::fault::FaultAction::*;
+        let Some(d) = &self.domain else { return true };
+        let subject = match action {
+            LinkDown(l) | LinkUp(l) => self.topo.link(l).a.0,
+            SwitchFail(n) | SwitchRecover(n) => n,
+        };
+        d.of[subject.0 as usize] == d.id
+    }
+
+    /// Drain the cross-domain outbox (empty on an unpartitioned run).
+    pub(crate) fn take_outbox(&mut self) -> Vec<CrossMsg> {
+        match &mut self.domain {
+            Some(d) => std::mem::take(&mut d.outbox),
+            None => Vec::new(),
+        }
+    }
+
+    /// Schedule cross-domain arrivals received at a barrier. Callers must
+    /// pre-sort by the deterministic merge key; every `at` must be beyond
+    /// the window just completed (guaranteed by the lookahead rule).
+    pub(crate) fn inject_cross(&mut self, msgs: Vec<CrossMsg>) {
+        for m in msgs {
+            debug_assert!(m.at > self.now, "cross msg inside completed window");
+            self.events.push(m.at, Event::Arrive { node: m.node, port: m.port, frame: m.frame });
         }
     }
 
@@ -696,6 +866,9 @@ impl Simulator {
 
         let binding = self.topo.node(node).ports[port as usize];
         let link = self.topo.link(binding.link);
+        // Which direction of the (bidirectional) link this transmission
+        // uses — keys the per-direction loss RNG stream.
+        let from_a = link.a.0 == node;
         let rate = match egress_rate {
             Some(r) => r.min(link.params.bandwidth_bps),
             None => link.params.bandwidth_bps,
@@ -713,7 +886,7 @@ impl Simulator {
                 Some(DropReason::SwitchDown)
             } else if !f.link_is_up(binding.link) {
                 Some(DropReason::LinkDown)
-            } else if f.roll_loss(binding.link) {
+            } else if f.roll_loss(binding.link, from_a) {
                 Some(DropReason::LinkLoss)
             } else {
                 None
@@ -732,6 +905,24 @@ impl Simulator {
             return;
         }
 
+        // In a partitioned run, a frame bound for a foreign node crosses
+        // the domain boundary through the outbox instead of the local
+        // event queue; the barrier exchange re-schedules it remotely.
+        if let Some(d) = &mut self.domain {
+            if d.of[binding.peer.0 as usize] != d.id {
+                d.outbox.push(CrossMsg {
+                    at: arrive_at,
+                    sent_at: self.now,
+                    node: binding.peer,
+                    port: binding.peer_port,
+                    src_domain: d.id,
+                    seq: d.seq,
+                    frame,
+                });
+                d.seq += 1;
+                return;
+            }
+        }
         self.events.push(
             arrive_at,
             Event::Arrive { node: binding.peer, port: binding.peer_port, frame },

@@ -19,8 +19,14 @@
 //!   is dropped, and anything still queued on its ports is dropped as the
 //!   ports drain.
 //! * **Probabilistic loss** — each frame entering a lossy link is dropped
-//!   with probability `p`, rolled on a dedicated RNG stream derived from
-//!   the master seed (so loss does not perturb application RNG streams).
+//!   with probability `p`, rolled on a dedicated RNG stream **per link
+//!   and direction**, derived purely from the master seed and the
+//!   `(link, direction)` pair (so loss perturbs neither application RNG
+//!   streams nor other links' streams). Per-direction streams matter for
+//!   the parallel engine: all transmissions in one direction of a link
+//!   are serialized by the transmitting node, so the stream is consumed
+//!   in the same order no matter how the fabric is partitioned into
+//!   domains.
 //!
 //! Routing is static (computed at construction), so a failed link is a
 //! blackhole for every pair routed across it — exactly the condition the
@@ -31,6 +37,7 @@ use crate::time::SimTime;
 use crate::topology::{LinkId, NodeId, NodeKind, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// A resolved fault transition, ready for the event queue.
 ///
@@ -167,8 +174,15 @@ pub struct FaultState {
     loss: Vec<f64>,
     /// True if any link has nonzero loss (skips the per-frame lookup).
     any_loss: bool,
-    /// Dedicated stream for loss rolls, derived from the master seed.
-    rng: SmallRng,
+    /// Master seed, mixed into each `(link, direction)` stream seed.
+    seed: u64,
+    /// Lazily created loss-roll streams, one per `(link, direction)`.
+    /// Seeded purely from `(seed, link, direction)`, so a stream's roll
+    /// sequence depends only on how many frames crossed *that* link in
+    /// *that* direction — not on global event interleaving. That makes
+    /// loss outcomes invariant under domain partitioning: each direction
+    /// is consumed by exactly one transmitting node's serialized port.
+    streams: HashMap<(u32, bool), SmallRng>,
 }
 
 impl FaultState {
@@ -183,9 +197,8 @@ impl FaultState {
             node_up: vec![true; topo.nodes.len()],
             loss,
             any_loss,
-            // Golden-ratio mix keeps this stream distinct from every
-            // per-host stream derived from the same master seed.
-            rng: SmallRng::seed_from_u64(seed ^ 0xF4A7_0000_0000_0001u64.wrapping_mul(0x9E37_79B9)),
+            seed,
+            streams: HashMap::new(),
         }
     }
 
@@ -209,15 +222,28 @@ impl FaultState {
         self.node_up[id.0 as usize]
     }
 
-    /// Roll the loss dice for a frame entering `link`. Consumes RNG state
-    /// only for links with nonzero loss, so loss-free plans replay the
-    /// same schedule as no plan at all.
-    pub(crate) fn roll_loss(&mut self, link: LinkId) -> bool {
+    /// Roll the loss dice for a frame entering `link` in the direction
+    /// `from_a` (true when the transmitter is the link's `a` endpoint).
+    /// Consumes RNG state only for links with nonzero loss, so loss-free
+    /// plans replay the same schedule as no plan at all.
+    pub(crate) fn roll_loss(&mut self, link: LinkId, from_a: bool) -> bool {
         if !self.any_loss {
             return false;
         }
         let p = self.loss[link.0 as usize];
-        p > 0.0 && self.rng.gen_bool(p)
+        if p <= 0.0 {
+            return false;
+        }
+        let seed = self.seed;
+        let rng = self.streams.entry((link.0, from_a)).or_insert_with(|| {
+            // Golden-ratio mix of (master seed, link, direction) keeps
+            // every stream distinct from each other and from the
+            // per-host application streams derived from the same seed.
+            let tag = 0xF4A7_0000_0000_0001u64
+                ^ ((link.0 as u64) << 1 | from_a as u64);
+            SmallRng::seed_from_u64(seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        });
+        rng.gen_bool(p)
     }
 }
 
@@ -289,7 +315,7 @@ mod tests {
         let plan = FaultPlan::new().link_loss(h1, s1, 0.5).resolve(&t).unwrap();
         let rolls = |seed| {
             let mut st = FaultState::new(&t, &plan, seed);
-            (0..1000).map(|_| st.roll_loss(LinkId(0))).collect::<Vec<_>>()
+            (0..1000).map(|_| st.roll_loss(LinkId(0), true)).collect::<Vec<_>>()
         };
         let a = rolls(9);
         assert_eq!(a, rolls(9), "same seed, same rolls");
@@ -297,7 +323,42 @@ mod tests {
         assert!((300..700).contains(&hits), "p=0.5 plausibly honored: {hits}/1000");
         // Lossless link never consumes a roll outcome.
         let mut st = FaultState::new(&t, &plan, 9);
-        assert!(!st.roll_loss(LinkId(1)));
+        assert!(!st.roll_loss(LinkId(1), true));
+    }
+
+    #[test]
+    fn loss_streams_are_independent_per_link_and_direction() {
+        let (t, h1, s1, h2) = topo();
+        let plan = FaultPlan::new()
+            .link_loss(h1, s1, 0.5)
+            .link_loss(s1, h2, 0.5)
+            .resolve(&t)
+            .unwrap();
+        // Interleaving rolls on other (link, direction) pairs must not
+        // perturb a stream — the property that makes loss outcomes
+        // independent of domain partitioning.
+        let solo = {
+            let mut st = FaultState::new(&t, &plan, 7);
+            (0..200).map(|_| st.roll_loss(LinkId(0), true)).collect::<Vec<_>>()
+        };
+        let interleaved = {
+            let mut st = FaultState::new(&t, &plan, 7);
+            (0..200)
+                .map(|_| {
+                    let r = st.roll_loss(LinkId(0), true);
+                    st.roll_loss(LinkId(0), false);
+                    st.roll_loss(LinkId(1), true);
+                    r
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(solo, interleaved, "streams do not perturb each other");
+        // And the two directions of one link are distinct streams.
+        let mut st = FaultState::new(&t, &plan, 7);
+        let fwd: Vec<bool> = (0..200).map(|_| st.roll_loss(LinkId(0), true)).collect();
+        let mut st = FaultState::new(&t, &plan, 7);
+        let rev: Vec<bool> = (0..200).map(|_| st.roll_loss(LinkId(0), false)).collect();
+        assert_ne!(fwd, rev, "directions draw from different streams");
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! * [`engine`] — the event loop: serialization, propagation, queuing,
 //!   data-plane program invocation at ingress / enqueue / egress,
 //! * [`routing`] — shortest-path route computation and installation,
+//!   plus structural O(1) routing for giant Clos fabrics,
+//! * [`domain`] / [`par`] — latency-based domain partitioning and the
+//!   conservative parallel driver over it (byte-identical artifacts to
+//!   the single-thread oracle; see DESIGN.md §5.9),
 //! * [`fault`] — scheduled link/switch failures and probabilistic frame
 //!   loss, executed deterministically by the engine,
 //! * [`tcp`] — a TCP-Reno-style reliable transport for task transfers,
@@ -23,9 +27,11 @@
 //! traffic (paper §IV).
 
 pub mod app;
+pub mod domain;
 pub mod engine;
 pub mod event;
 pub mod fault;
+pub mod par;
 pub mod pool;
 pub mod queue;
 pub mod routing;
@@ -36,13 +42,15 @@ pub mod topology;
 pub mod trace;
 
 pub use app::{App, AppCtx, AppOp};
+pub use domain::DomainPartition;
 pub use engine::{SimConfig, Simulator};
 pub use int_dataplane::EcmpSelect;
 pub use event::{ConnId, Event, EventQueue};
 pub use fault::{FaultAction, FaultPlan, FaultState};
+pub use par::ParSim;
 pub use pool::{BufPool, PoolStats};
 pub use queue::{DropTailQueue, QueueStats};
-pub use routing::RouteTable;
+pub use routing::{ClosNodeKind, ClosRoutes, RouteTable, Routes};
 pub use stats::NetStats;
 pub use tcp::{TcpConfig, TcpEvent, TcpHost};
 pub use time::{SimDuration, SimTime};

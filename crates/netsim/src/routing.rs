@@ -105,6 +105,181 @@ impl RouteTable {
     }
 }
 
+/// What a node is, in the structural Clos layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClosNodeKind {
+    /// A host, with its index (= node id).
+    Host(u32),
+    /// A leaf switch, with its leaf index.
+    Leaf(u32),
+    /// A spine switch, with its spine index.
+    Spine(u32),
+}
+
+/// Structural O(1) routing for fabrics built by
+/// [`ClosParams::build`](crate::topology::ClosParams::build) (and its
+/// tiered-delay variant): next hops, distances and ECMP groups read off
+/// the leaf-spine structure instead of an all-pairs Dijkstra.
+///
+/// The all-pairs [`RouteTable`] costs `O(n²)` memory and `n` Dijkstra
+/// runs — ~1.8 GB and minutes of setup for a 10k-host fabric, which is
+/// exactly what made giant runs infeasible. A Clos has no routing
+/// freedom a table could add: every host-to-host path is
+/// host→leaf(→spine→leaf)→host, and all spines are equal-cost. This
+/// struct encodes the layout contract of `ClosParams::build`:
+///
+/// * node ids: hosts `0..H` leaf-major, leaves `H..H+L`, spines
+///   `H+L..H+L+S`;
+/// * leaf ports: `0..hpl-1` attach the leaf's own hosts in id order,
+///   `hpl..hpl+S-1` attach the spines in spine order;
+/// * spine ports: port `l` attaches leaf `l`;
+/// * host port `0` is the single uplink.
+///
+/// The parity test below pins this against a Dijkstra [`RouteTable`] on
+/// a small fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosRoutes {
+    spines: u32,
+    leaves: u32,
+    hosts_per_leaf: u32,
+    /// Host–leaf attachment delay, ns.
+    host_delay_ns: u64,
+    /// Leaf–spine uplink delay, ns.
+    uplink_delay_ns: u64,
+}
+
+impl ClosRoutes {
+    /// Structural routes for a fabric with the given tier sizes and
+    /// per-tier link delays (equal for `ClosParams::build`, distinct
+    /// for the tiered-delay builder).
+    pub fn new(
+        spines: u32,
+        leaves: u32,
+        hosts_per_leaf: u32,
+        host_delay: SimDuration,
+        uplink_delay: SimDuration,
+    ) -> Self {
+        assert!(spines >= 1 && leaves >= 1 && hosts_per_leaf >= 1, "empty tier");
+        Self {
+            spines,
+            leaves,
+            hosts_per_leaf,
+            host_delay_ns: host_delay.as_nanos(),
+            uplink_delay_ns: uplink_delay.as_nanos(),
+        }
+    }
+
+    /// Host count.
+    pub fn hosts(&self) -> u32 {
+        self.leaves * self.hosts_per_leaf
+    }
+
+    /// Spine count (the ECMP fan-out every leaf sees).
+    pub fn spines(&self) -> u32 {
+        self.spines
+    }
+
+    /// Leaf count.
+    pub fn leaves(&self) -> u32 {
+        self.leaves
+    }
+
+    /// Hosts attached to each leaf.
+    pub fn hosts_per_leaf(&self) -> u32 {
+        self.hosts_per_leaf
+    }
+
+    /// Classify a node id per the structural layout.
+    pub fn kind_of(&self, n: NodeId) -> ClosNodeKind {
+        let h = self.hosts();
+        if n.0 < h {
+            ClosNodeKind::Host(n.0)
+        } else if n.0 < h + self.leaves {
+            ClosNodeKind::Leaf(n.0 - h)
+        } else {
+            assert!(n.0 < h + self.leaves + self.spines, "node {n} outside fabric");
+            ClosNodeKind::Spine(n.0 - h - self.leaves)
+        }
+    }
+
+    /// The leaf switch a host attaches to.
+    pub fn leaf_of_host(&self, host: u32) -> NodeId {
+        NodeId(self.hosts() + host / self.hosts_per_leaf)
+    }
+
+    /// The leaf port a host attaches to (hosts are the low ports).
+    pub fn leaf_port_of_host(&self, host: u32) -> PortId {
+        (host % self.hosts_per_leaf) as PortId
+    }
+
+    /// A leaf's uplink ports toward the spines, in spine order — the
+    /// equal-cost group for every remote destination.
+    pub fn leaf_uplink_ports(&self) -> Vec<PortId> {
+        (self.hosts_per_leaf..self.hosts_per_leaf + self.spines)
+            .map(|p| p as PortId)
+            .collect()
+    }
+
+    /// The spine port attaching leaf `l` (spine ports are in leaf order).
+    pub fn spine_port_to_leaf(&self, leaf: u32) -> PortId {
+        leaf as PortId
+    }
+
+    /// Shortest-path propagation delay between two hosts: 0 to self,
+    /// two host hops within a leaf, plus two uplink hops across leaves.
+    pub fn host_distance(&self, a: u32, b: u32) -> SimDuration {
+        let ns = if a == b {
+            0
+        } else if a / self.hosts_per_leaf == b / self.hosts_per_leaf {
+            2 * self.host_delay_ns
+        } else {
+            2 * self.host_delay_ns + 2 * self.uplink_delay_ns
+        };
+        SimDuration::from_nanos(ns)
+    }
+
+    /// Links on the shortest path between two hosts (the paper's
+    /// "hops"): 2 within a leaf, 4 across leaves.
+    pub fn host_hop_count(&self, a: u32, b: u32) -> usize {
+        if a == b {
+            0
+        } else if a / self.hosts_per_leaf == b / self.hosts_per_leaf {
+            2
+        } else {
+            4
+        }
+    }
+}
+
+/// The routing mode a simulation was built with: a general all-pairs
+/// [`RouteTable`], or structural [`ClosRoutes`] for giant leaf-spine
+/// fabrics where the table's `O(n²)` state is the scaling bottleneck.
+#[derive(Debug)]
+pub enum Routes {
+    /// All-pairs Dijkstra (any topology).
+    Table(RouteTable),
+    /// Structural Clos routing (ClosParams-built fabrics only).
+    Clos(ClosRoutes),
+}
+
+impl Routes {
+    /// The all-pairs table, if this is table mode.
+    pub fn table(&self) -> Option<&RouteTable> {
+        match self {
+            Routes::Table(t) => Some(t),
+            Routes::Clos(_) => None,
+        }
+    }
+
+    /// The structural Clos routes, if this is Clos mode.
+    pub fn clos(&self) -> Option<&ClosRoutes> {
+        match self {
+            Routes::Table(_) => None,
+            Routes::Clos(c) => Some(c),
+        }
+    }
+}
+
 fn dijkstra(topo: &Topology, src: NodeId) -> (Vec<u64>, Vec<Option<NodeId>>) {
     let n = topo.nodes.len();
     let mut dist = vec![u64::MAX; n];
@@ -262,5 +437,63 @@ mod tests {
         // The 50 ms detour is not equal-cost with the 10 ms direct hop.
         assert_eq!(r.equal_cost_ports(&t, s1, h2), vec![1]);
         assert_eq!(r.equal_cost_ports(&t, h1, h2), vec![0]);
+    }
+
+    #[test]
+    fn clos_routes_match_dijkstra_on_a_small_fabric() {
+        // The structural layout contract, pinned against the general
+        // Dijkstra table on a 3-spine / 4-leaf / 2-hosts-per-leaf Clos.
+        use crate::topology::ClosParams;
+        let cp = ClosParams { spines: 3, leaves: 4, hosts_per_leaf: 2, link: params(10) };
+        let fab = cp.build();
+        let t = &fab.topo;
+        let table = RouteTable::compute(t);
+        let c = ClosRoutes::new(3, 4, 2, cp.link.delay, cp.link.delay);
+        let h = c.hosts();
+        assert_eq!(h, 8);
+        for (i, &hn) in fab.hosts.iter().enumerate() {
+            assert_eq!(hn.0, i as u32, "hosts are the low ids, leaf-major");
+        }
+        for a in 0..h {
+            for b in 0..h {
+                assert_eq!(
+                    table.distance(NodeId(a), NodeId(b)),
+                    Some(c.host_distance(a, b)),
+                    "distance {a}->{b}"
+                );
+                if a != b {
+                    assert_eq!(
+                        table.hop_count(NodeId(a), NodeId(b)),
+                        Some(c.host_hop_count(a, b)),
+                        "hops {a}->{b}"
+                    );
+                }
+                // Leaf forwarding toward b: exact port for own hosts,
+                // the full spine uplink group for remote ones.
+                let leaf = c.leaf_of_host(a);
+                let ecmp = table.equal_cost_ports(t, leaf, NodeId(b));
+                if c.leaf_of_host(b) == leaf {
+                    assert_eq!(ecmp, vec![c.leaf_port_of_host(b)], "leaf {leaf}->{b}");
+                } else {
+                    assert_eq!(ecmp, c.leaf_uplink_ports(), "leaf {leaf}->{b}");
+                }
+            }
+        }
+        // Spine forwarding: one port, toward the destination's leaf.
+        for s in 0..3u32 {
+            let spine = NodeId(h + 4 + s);
+            assert_eq!(c.kind_of(spine), ClosNodeKind::Spine(s));
+            for b in 0..h {
+                let want = c.spine_port_to_leaf(b / 2);
+                assert_eq!(table.egress_port(t, spine, NodeId(b)), Some(want));
+                assert_eq!(table.equal_cost_ports(t, spine, NodeId(b)), vec![want]);
+            }
+        }
+        // Node classification round-trips the layout.
+        assert_eq!(c.kind_of(NodeId(0)), ClosNodeKind::Host(0));
+        assert_eq!(c.kind_of(NodeId(7)), ClosNodeKind::Host(7));
+        assert_eq!(c.kind_of(NodeId(8)), ClosNodeKind::Leaf(0));
+        assert_eq!(c.kind_of(NodeId(11)), ClosNodeKind::Leaf(3));
+        assert_eq!(c.kind_of(NodeId(12)), ClosNodeKind::Spine(0));
     }
 }

@@ -28,17 +28,34 @@ pub struct NetStats {
 }
 
 impl NetStats {
-    /// Total drops of any kind.
+    /// Accumulate another domain's counters (saturating: a merged view of
+    /// giant runs must clamp, not wrap).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.events_processed = self.events_processed.saturating_add(other.events_processed);
+        self.frames_delivered = self.frames_delivered.saturating_add(other.frames_delivered);
+        self.frames_forwarded = self.frames_forwarded.saturating_add(other.frames_forwarded);
+        self.drops_queue_full = self.drops_queue_full.saturating_add(other.drops_queue_full);
+        self.drops_dataplane = self.drops_dataplane.saturating_add(other.drops_dataplane);
+        self.drops_host = self.drops_host.saturating_add(other.drops_host);
+        self.drops_link_down = self.drops_link_down.saturating_add(other.drops_link_down);
+        self.drops_switch_down = self.drops_switch_down.saturating_add(other.drops_switch_down);
+        self.drops_link_loss = self.drops_link_loss.saturating_add(other.drops_link_loss);
+    }
+
+    /// Total drops of any kind (saturating: totals over merged giant-run
+    /// counters must clamp at `u64::MAX`, not wrap in release builds).
     pub fn total_drops(&self) -> u64 {
         self.drops_queue_full
-            + self.drops_dataplane
-            + self.drops_host
-            + self.fault_drops()
+            .saturating_add(self.drops_dataplane)
+            .saturating_add(self.drops_host)
+            .saturating_add(self.fault_drops())
     }
 
     /// Drops attributable to injected faults.
     pub fn fault_drops(&self) -> u64 {
-        self.drops_link_down + self.drops_switch_down + self.drops_link_loss
+        self.drops_link_down
+            .saturating_add(self.drops_switch_down)
+            .saturating_add(self.drops_link_loss)
     }
 }
 
@@ -59,5 +76,27 @@ mod tests {
         };
         assert_eq!(s.fault_drops(), 15);
         assert_eq!(s.total_drops(), 21);
+    }
+
+    #[test]
+    fn totals_saturate_at_u64_max() {
+        let s = NetStats {
+            drops_queue_full: u64::MAX,
+            drops_dataplane: 1,
+            drops_link_loss: u64::MAX,
+            ..Default::default()
+        };
+        assert_eq!(s.fault_drops(), u64::MAX);
+        assert_eq!(s.total_drops(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_sums_and_saturates() {
+        let mut a = NetStats { events_processed: 3, frames_delivered: u64::MAX, ..Default::default() };
+        let b = NetStats { events_processed: 4, frames_delivered: 9, drops_host: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.events_processed, 7);
+        assert_eq!(a.frames_delivered, u64::MAX);
+        assert_eq!(a.drops_host, 2);
     }
 }

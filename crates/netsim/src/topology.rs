@@ -185,20 +185,25 @@ impl Topology {
         self.nodes.iter().find(|n| n.name == name).map(|n| n.id)
     }
 
-    /// Deterministic IPv4 address of a host: `10.0.x.y` derived from the
-    /// node id. Switches are transparent L3 devices and have no address.
+    /// Deterministic IPv4 address of a host: `10.x.y.z` derived from the
+    /// node id (`10.0.y.z` for the first 65,535 nodes, so small-fabric
+    /// addresses are unchanged). Switches are transparent L3 devices and
+    /// have no address. Panics past 2²⁴−2 nodes — beyond the 10/8 space —
+    /// instead of silently aliasing two hosts onto one address, which at
+    /// giant scale would misdeliver traffic with no diagnostic.
     pub fn host_ip(id: NodeId) -> Ipv4Addr {
         let n = id.0 + 1; // avoid .0 network address
-        Ipv4Addr::new(10, 0, (n >> 8) as u8, (n & 0xFF) as u8)
+        assert!(n < 1 << 24, "node id {} exceeds the 10/8 address space", id.0);
+        Ipv4Addr::new(10, (n >> 16) as u8, (n >> 8) as u8, (n & 0xFF) as u8)
     }
 
     /// Inverse of [`Topology::host_ip`].
     pub fn node_of_ip(ip: Ipv4Addr) -> Option<NodeId> {
         let o = ip.octets();
-        if o[0] != 10 || o[1] != 0 {
+        if o[0] != 10 {
             return None;
         }
-        let n = ((o[2] as u32) << 8) | o[3] as u32;
+        let n = ((o[1] as u32) << 16) | ((o[2] as u32) << 8) | o[3] as u32;
         n.checked_sub(1).map(NodeId)
     }
 
@@ -302,6 +307,17 @@ impl ClosParams {
     /// attachments first, then the leaf×spine bipartite mesh — all
     /// deterministic, so same params ⇒ byte-identical topology.
     pub fn build(&self) -> Fabric {
+        self.build_tiered(self.link)
+    }
+
+    /// [`ClosParams::build`] with a distinct link parameter set for the
+    /// leaf–spine uplinks (`self.link` still covers host attachments).
+    /// Tiered delays give the domain partitioner a slow tier to cut on
+    /// — lookahead = the uplink delay — and, chosen non-round (e.g.
+    /// `12_000_019` ns), avoid exact-nanosecond arrival coincidences
+    /// between tiers. Same node/link creation order as `build`, so
+    /// `build_tiered(self.link)` is byte-identical to `build()`.
+    pub fn build_tiered(&self, uplink: LinkParams) -> Fabric {
         assert!(self.spines >= 1 && self.leaves >= 1, "empty tier");
         let mut t = Topology::new();
         let hosts: Vec<NodeId> = (0..self.leaves * self.hosts_per_leaf)
@@ -316,7 +332,7 @@ impl ClosParams {
         }
         for &l in &leaves {
             for &s in &spines {
-                t.add_link(l, s, self.link);
+                t.add_link(l, s, uplink);
             }
         }
         Fabric { topo: t, hosts, tiers: vec![leaves, spines] }
@@ -417,10 +433,19 @@ mod tests {
 
     #[test]
     fn ip_assignment_roundtrips() {
-        for id in [0u32, 1, 5, 254, 255, 256, 1000] {
+        // Boundary values straddle every octet carry, including the
+        // 65,534/65,535 edge where the old two-octet scheme would have
+        // silently aliased giant-fabric hosts.
+        for id in [0u32, 1, 5, 254, 255, 256, 1000, 65_533, 65_534, 65_535, 1_000_000] {
             let ip = Topology::host_ip(NodeId(id));
             assert_eq!(Topology::node_of_ip(ip), Some(NodeId(id)), "{ip}");
         }
+        // Small ids keep their historical 10.0.x.y form.
+        assert_eq!(Topology::host_ip(NodeId(0)), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(Topology::host_ip(NodeId(65_534)), Ipv4Addr::new(10, 0, 255, 255));
+        assert_eq!(Topology::host_ip(NodeId(65_535)), Ipv4Addr::new(10, 1, 0, 0));
+        // Distinctness at the boundary (the aliasing the assert guards).
+        assert_ne!(Topology::host_ip(NodeId(65_535)), Topology::host_ip(NodeId(65_535 + 256)));
         assert_eq!(Topology::host_ip(NodeId(0)), Ipv4Addr::new(10, 0, 0, 1));
         assert_eq!(Topology::node_of_ip(Ipv4Addr::new(192, 168, 0, 1)), None);
     }

@@ -99,6 +99,14 @@ impl DecisionAudit {
         &self.records
     }
 
+    /// Drain the held records, keeping the cumulative `total`/`evicted`
+    /// counters — the per-epoch hook for streaming exports (each epoch
+    /// takes what accumulated since the last one, bounding what the
+    /// trail holds in memory to one epoch's worth of decisions).
+    pub fn take_records(&mut self) -> Vec<DecisionRecord> {
+        std::mem::take(&mut self.records)
+    }
+
     /// Deterministic JSON export:
     /// `{"total":…,"evicted":…,"decisions":[{…}]}` with ranked
     /// candidates and exclusions in the order the scheduler produced
@@ -110,37 +118,46 @@ impl DecisionAudit {
         j.key("evicted").u64(self.evicted);
         j.key("decisions").arr_open();
         for rec in &self.records {
-            j.obj_open();
-            j.key("at_ns").u64(rec.at_ns);
-            j.key("requester").u64(rec.requester as u64);
-            j.key("policy").str(rec.policy);
-            match rec.chosen {
-                Some(h) => j.key("chosen").u64(h as u64),
-                None => j.key("chosen").null(),
-            };
-            j.key("ranked").arr_open();
-            for c in &rec.ranked {
-                j.obj_open();
-                j.key("host").u64(c.host as u64);
-                j.key("est_delay_ns").u64(c.est_delay_ns);
-                j.key("est_bandwidth_bps").u64(c.est_bandwidth_bps);
-                j.obj_close();
-            }
-            j.arr_close();
-            j.key("excluded").arr_open();
-            for (h, why) in &rec.excluded {
-                j.obj_open();
-                j.key("host").u64(*h as u64);
-                j.key("reason").str(why);
-                j.obj_close();
-            }
-            j.arr_close();
-            j.obj_close();
+            write_record(&mut j, rec);
         }
         j.arr_close();
         j.obj_close();
         j.finish()
     }
+}
+
+/// Render one decision record as the next value in `j` — the single
+/// definition of the record shape, shared by [`DecisionAudit::to_json`]
+/// and the streaming epoch writer (a stream of `write_record` lines
+/// concatenates to exactly the in-core `"decisions"` array, element for
+/// element).
+pub fn write_record(j: &mut JsonBuf, rec: &DecisionRecord) {
+    j.obj_open();
+    j.key("at_ns").u64(rec.at_ns);
+    j.key("requester").u64(rec.requester as u64);
+    j.key("policy").str(rec.policy);
+    match rec.chosen {
+        Some(h) => j.key("chosen").u64(h as u64),
+        None => j.key("chosen").null(),
+    };
+    j.key("ranked").arr_open();
+    for c in &rec.ranked {
+        j.obj_open();
+        j.key("host").u64(c.host as u64);
+        j.key("est_delay_ns").u64(c.est_delay_ns);
+        j.key("est_bandwidth_bps").u64(c.est_bandwidth_bps);
+        j.obj_close();
+    }
+    j.arr_close();
+    j.key("excluded").arr_open();
+    for (h, why) in &rec.excluded {
+        j.obj_open();
+        j.key("host").u64(*h as u64);
+        j.key("reason").str(why);
+        j.obj_close();
+    }
+    j.arr_close();
+    j.obj_close();
 }
 
 #[cfg(test)]
@@ -197,5 +214,48 @@ mod tests {
                 r#""ranked":[],"excluded":[{"host":3,"reason":"NoFreshPath"}]}]}"#
             )
         );
+    }
+
+    #[test]
+    fn take_records_drains_but_keeps_counters() {
+        let mut a = DecisionAudit::new(8);
+        a.set_enabled(true);
+        a.record(rec(1));
+        a.record(rec(2));
+        let taken = a.take_records();
+        assert_eq!(taken.len(), 2);
+        assert_eq!((a.total(), a.records().len()), (2, 0));
+        a.record(rec(3));
+        assert_eq!((a.total(), a.records().len()), (3, 1));
+    }
+
+    #[test]
+    fn streamed_records_concatenate_to_the_in_core_array() {
+        // Streaming contract: rendering each epoch's drained records
+        // with write_record and splicing them into a decisions array
+        // reproduces the in-core export byte-for-byte.
+        let mut whole = DecisionAudit::new(16);
+        whole.set_enabled(true);
+        let mut streamed = DecisionAudit::new(16);
+        streamed.set_enabled(true);
+        let mut parts = Vec::new();
+        for t in 0..6 {
+            whole.record(rec(t));
+            streamed.record(rec(t));
+            if t % 2 == 1 {
+                // Epoch close: drain and render.
+                for r in streamed.take_records() {
+                    let mut j = JsonBuf::new();
+                    write_record(&mut j, &r);
+                    parts.push(j.finish());
+                }
+            }
+        }
+        let spliced = format!(
+            r#"{{"total":{},"evicted":0,"decisions":[{}]}}"#,
+            streamed.total(),
+            parts.join(",")
+        );
+        assert_eq!(spliced, whole.to_json());
     }
 }

@@ -12,6 +12,10 @@
 //! * [`DecisionAudit`] — the scheduler decision audit trail: per query,
 //!   the candidate set with per-host estimates, exclusions with their
 //!   reason, and the chosen host.
+//! * [`EpochWriter`] — bounded-memory artifact streaming: epoch lines
+//!   go to disk as each epoch closes (instead of accumulating in RAM
+//!   for the whole run), with an in-core fallback mode that produces a
+//!   byte-identical file — the equivalence the CI smoke `cmp`s.
 //!
 //! Everything is **deterministic** (sim time only, integer values,
 //! `BTreeMap`-ordered exports, counter-based sampling) so exports are
@@ -29,8 +33,10 @@
 pub mod audit;
 pub mod json;
 pub mod metrics;
+pub mod stream;
 pub mod trace;
 
 pub use audit::{CandidateEstimate, DecisionAudit, DecisionRecord};
 pub use metrics::{Histogram, Labels, MetricsRegistry};
+pub use stream::{EpochWriter, EpochWriterStats};
 pub use trace::{DropReason, TraceEvent, TraceKind, TraceRing};

@@ -95,9 +95,31 @@ impl Histogram {
         if v > self.max {
             self.max = v;
         }
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(v);
-        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+        let b = &mut self.buckets[(64 - v.leading_zeros()) as usize];
+        *b = b.saturating_add(1);
+    }
+
+    /// Fold another histogram into this one (fieldwise: counts and
+    /// buckets add, min/max widen, sum saturates). Exact regardless of
+    /// merge order, which is what lets per-domain registries reproduce
+    /// the single-loop registry byte-for-byte.
+    fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
     }
 
     /// Observations recorded.
@@ -108,6 +130,11 @@ impl Histogram {
     /// Sum of observations (saturating).
     pub fn sum(&self) -> u64 {
         self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
     }
 
     /// Largest observation (0 when empty).
@@ -147,7 +174,8 @@ impl MetricsRegistry {
         if !self.enabled {
             return;
         }
-        *self.counters.entry((name, labels)).or_insert(0) += delta;
+        let c = self.counters.entry((name, labels)).or_insert(0);
+        *c = c.saturating_add(delta);
     }
 
     /// Increment a counter by one.
@@ -194,6 +222,36 @@ impl MetricsRegistry {
         self.counters.len() + self.gauges.len() + self.histograms.len()
     }
 
+    /// Fold another registry's series into this one: counters add
+    /// (saturating), histograms merge fieldwise, and a gauge keeps the
+    /// sample with the larger `at_ns` (on a tie, the already-held one).
+    ///
+    /// Counter and histogram merging is exact and order-independent, so
+    /// per-domain registries folded in any order reproduce the registry
+    /// a single event loop would have built. Gauge merging is only
+    /// well-defined when at most one source writes each gauge series
+    /// (true in this workspace: the engine records no gauges).
+    ///
+    /// Aggregation ignores the `enabled` flags — a disabled accumulator
+    /// can collect from enabled sources.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            let c = self.counters.entry(*k).or_insert(0);
+            *c = c.saturating_add(*v);
+        }
+        for (k, g) in &other.gauges {
+            match self.gauges.get(k) {
+                Some(held) if held.at_ns >= g.at_ns => {}
+                _ => {
+                    self.gauges.insert(*k, *g);
+                }
+            }
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(*k).or_default().merge(h);
+        }
+    }
+
     /// Deterministic JSON snapshot.
     ///
     /// Series keys flatten to `name{k=v,k=v}`; kinds are grouped under
@@ -202,6 +260,15 @@ impl MetricsRegistry {
     /// byte-identically.
     pub fn snapshot_json(&self) -> String {
         let mut j = JsonBuf::new();
+        self.snapshot_into(&mut j);
+        j.finish()
+    }
+
+    /// Render the snapshot as the next value in an existing [`JsonBuf`]
+    /// — the embedding hook the streaming epoch writer uses to put a
+    /// metrics snapshot inside each epoch line without an intermediate
+    /// `String` per epoch.
+    pub fn snapshot_into(&self, j: &mut JsonBuf) {
         j.obj_open();
         j.key("counters").obj_open();
         for ((name, labels), v) in &self.counters {
@@ -236,7 +303,6 @@ impl MetricsRegistry {
         }
         j.obj_close();
         j.obj_close();
-        j.finish()
     }
 }
 
@@ -293,5 +359,93 @@ mod tests {
         m.set_enabled(true);
         m.counter_inc("drops", Labels::two("node", 2, "port", 1));
         assert!(m.snapshot_json().contains(r#""drops{node=2,port=1}":1"#));
+    }
+
+    #[test]
+    fn counter_saturates_at_u64_max() {
+        // Satellite audit: giant-run counters must saturate, not wrap or
+        // panic, at the u64 boundary.
+        let mut m = MetricsRegistry::new();
+        m.set_enabled(true);
+        m.counter_add("big", Labels::none(), u64::MAX - 1);
+        m.counter_add("big", Labels::none(), 5);
+        assert_eq!(m.counter("big", Labels::none()), u64::MAX);
+        m.counter_inc("big", Labels::none());
+        assert_eq!(m.counter("big", Labels::none()), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_boundary_values_round_trip() {
+        let mut m = MetricsRegistry::new();
+        m.set_enabled(true);
+        m.histogram_record("h", Labels::none(), u64::MAX);
+        m.histogram_record("h", Labels::none(), u64::MAX);
+        let h = m.histogram("h", Labels::none()).unwrap();
+        assert_eq!((h.count(), h.min(), h.max()), (2, u64::MAX, u64::MAX));
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
+    fn merged_shards_render_like_one_registry() {
+        // The parallel-DES aggregation contract: split the same record
+        // stream across registries, merge in any order, and the snapshot
+        // must match the one an unsplit registry renders.
+        let record = |m: &mut MetricsRegistry, i: u64| {
+            m.counter_add("frames", Labels::one("node", i % 3), i);
+            m.histogram_record("qlen", Labels::none(), i * 7);
+        };
+        let mut whole = MetricsRegistry::new();
+        whole.set_enabled(true);
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.set_enabled(true);
+        b.set_enabled(true);
+        for i in 0..100 {
+            record(&mut whole, i);
+            record(if i % 2 == 0 { &mut a } else { &mut b }, i);
+        }
+        let mut ab = MetricsRegistry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = MetricsRegistry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.snapshot_json(), whole.snapshot_json());
+        assert_eq!(ba.snapshot_json(), whole.snapshot_json());
+    }
+
+    #[test]
+    fn gauge_merge_keeps_latest_sample() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.set_enabled(true);
+        b.set_enabled(true);
+        a.gauge_set("g", Labels::none(), 1, 10);
+        b.gauge_set("g", Labels::none(), 2, 20);
+        let mut m = MetricsRegistry::new();
+        m.merge(&a);
+        m.merge(&b);
+        assert_eq!(m.gauge("g", Labels::none()), Some(2));
+        let mut rev = MetricsRegistry::new();
+        rev.merge(&b);
+        rev.merge(&a);
+        assert_eq!(rev.gauge("g", Labels::none()), Some(2), "order-independent");
+    }
+
+    #[test]
+    fn snapshot_into_composes_with_outer_document() {
+        let mut m = MetricsRegistry::new();
+        m.set_enabled(true);
+        m.counter_inc("x", Labels::none());
+        let mut j = JsonBuf::new();
+        j.obj_open();
+        j.key("metrics");
+        m.snapshot_into(&mut j);
+        j.key("tail").u64(1);
+        j.obj_close();
+        assert_eq!(
+            j.finish(),
+            format!(r#"{{"metrics":{},"tail":1}}"#, m.snapshot_json())
+        );
     }
 }

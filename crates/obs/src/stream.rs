@@ -1,0 +1,166 @@
+//! Bounded-memory streaming for epoch-structured artifacts.
+//!
+//! Pre-PR-9 exports accumulated the whole artifact in RAM and serialized
+//! it once at the end of the run — fine for a 30-second testbed, fatal
+//! for a 10k-host multi-minute fabric where the epoch stream is the bulk
+//! of the output. [`EpochWriter`] inverts that: each epoch line is
+//! written (and flushed) to disk the moment the epoch closes, so peak
+//! memory is one epoch line regardless of run length.
+//!
+//! The writer keeps an **in-core mode** that accumulates lines and
+//! writes them in one shot at [`EpochWriter::finish`]. Both modes emit
+//! the same bytes by construction (same lines, same `\n` framing), and
+//! the CI streaming smoke `cmp`s the two files to pin that equivalence.
+//! Mode selection for experiments comes from the `INT_OBS_STREAM` env
+//! var via [`streaming_enabled`]: streaming is the default, `0` forces
+//! the in-core path (the A-side of the PR-9 memory benchmark).
+//!
+//! Lines are produced by the caller with [`JsonBuf`](crate::json::JsonBuf)
+//! — integer-only, deterministic — so a streamed artifact is still
+//! byte-identical across reruns, thread counts, and domain counts.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// What a finished writer did, for run summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochWriterStats {
+    /// Lines written.
+    pub lines: u64,
+    /// Total bytes written, including the newline framing.
+    pub bytes: u64,
+}
+
+enum Sink {
+    /// Write + flush every line as it arrives; RAM holds nothing.
+    Streamed(BufWriter<File>),
+    /// Accumulate everything, write once at `finish` — the pre-PR-9
+    /// behavior, kept as the A/B baseline and equivalence oracle.
+    InCore(Vec<u8>),
+}
+
+/// Line-oriented artifact writer with streamed and in-core modes that
+/// produce byte-identical files.
+pub struct EpochWriter {
+    path: PathBuf,
+    sink: Sink,
+    lines: u64,
+    bytes: u64,
+}
+
+impl EpochWriter {
+    /// Create (truncate) `path`. `streamed` picks the sink mode.
+    pub fn create(path: &Path, streamed: bool) -> io::Result<Self> {
+        let sink = if streamed {
+            Sink::Streamed(BufWriter::new(File::create(path)?))
+        } else {
+            Sink::InCore(Vec::new())
+        };
+        Ok(Self { path: path.to_path_buf(), sink, lines: 0, bytes: 0 })
+    }
+
+    /// Append one line (a `\n` is added). In streamed mode the line is
+    /// on disk when this returns; in in-core mode it is buffered.
+    pub fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.lines += 1;
+        self.bytes += line.len() as u64 + 1;
+        match &mut self.sink {
+            Sink::Streamed(w) => {
+                w.write_all(line.as_bytes())?;
+                w.write_all(b"\n")?;
+                w.flush()
+            }
+            Sink::InCore(buf) => {
+                buf.extend_from_slice(line.as_bytes());
+                buf.push(b'\n');
+                Ok(())
+            }
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Finish the artifact: in-core mode writes the accumulated bytes,
+    /// streamed mode just flushes. Returns what was written.
+    pub fn finish(self) -> io::Result<EpochWriterStats> {
+        match self.sink {
+            Sink::Streamed(mut w) => w.flush()?,
+            Sink::InCore(buf) => std::fs::write(&self.path, buf)?,
+        }
+        Ok(EpochWriterStats { lines: self.lines, bytes: self.bytes })
+    }
+}
+
+/// Should experiments stream their epoch artifacts? Controlled by the
+/// `INT_OBS_STREAM` env var: unset or any value other than `0` means
+/// stream (the default); `0` forces the in-core accumulate-then-write
+/// path, the A-side of the PR-9 memory comparison.
+pub fn streaming_enabled() -> bool {
+    std::env::var("INT_OBS_STREAM").map(|v| v != "0").unwrap_or(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "int_obs_stream_{}_{tag}_{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn streamed_and_in_core_files_are_byte_identical() {
+        let lines = ["{\"epoch\":0,\"x\":1}", "{\"epoch\":1,\"x\":2}", "{\"epoch\":2,\"x\":3}"];
+        let p_stream = scratch("s");
+        let p_core = scratch("c");
+        for (path, streamed) in [(&p_stream, true), (&p_core, false)] {
+            let mut w = EpochWriter::create(path, streamed).unwrap();
+            for l in &lines {
+                w.write_line(l).unwrap();
+            }
+            let stats = w.finish().unwrap();
+            assert_eq!(stats.lines, 3);
+        }
+        let a = std::fs::read(&p_stream).unwrap();
+        let b = std::fs::read(&p_core).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, b"{\"epoch\":0,\"x\":1}\n{\"epoch\":1,\"x\":2}\n{\"epoch\":2,\"x\":3}\n");
+        let _ = std::fs::remove_file(&p_stream);
+        let _ = std::fs::remove_file(&p_core);
+    }
+
+    #[test]
+    fn streamed_lines_are_on_disk_before_finish() {
+        let p = scratch("early");
+        let mut w = EpochWriter::create(&p, true).unwrap();
+        w.write_line("{\"epoch\":0}").unwrap();
+        // The streaming guarantee: the line is durable before finish(),
+        // so a run killed mid-way still leaves every closed epoch.
+        let on_disk = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(on_disk, "{\"epoch\":0}\n");
+        w.finish().unwrap();
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn stats_count_newline_framing() {
+        let p = scratch("stats");
+        let mut w = EpochWriter::create(&p, false).unwrap();
+        w.write_line("ab").unwrap();
+        w.write_line("c").unwrap();
+        assert_eq!(w.lines(), 2);
+        let stats = w.finish().unwrap();
+        assert_eq!(stats, EpochWriterStats { lines: 2, bytes: 5 });
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), 5);
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -112,6 +112,22 @@ impl TraceKind {
             TraceKind::RegisterReset { .. } => "register_reset",
         }
     }
+
+    /// The node the event is *about* — queue owner, drop site, fault
+    /// subject, or register-owning switch. This is the secondary key of
+    /// the canonical export order: every event is produced by exactly
+    /// one node's dispatch, so per-`(at_ns, node)` groups are invariant
+    /// under domain partitioning.
+    pub fn node_key(&self) -> u32 {
+        match *self {
+            TraceKind::Enqueue { node, .. }
+            | TraceKind::Dequeue { node, .. }
+            | TraceKind::Drop { node, .. } => node,
+            TraceKind::Fault { subject, .. } => subject,
+            TraceKind::ProbeHarvest { switch, .. }
+            | TraceKind::RegisterReset { switch, .. } => switch,
+        }
+    }
 }
 
 /// One trace event, stamped with sim time.
@@ -217,54 +233,90 @@ impl TraceRing {
         self.buf.iter()
     }
 
+    /// Drain the held events, keeping the cumulative `seen`/`evicted`
+    /// counters — the per-epoch hook for streaming exports: each epoch
+    /// takes what accumulated since the last one, so the ring never
+    /// holds more than one epoch of events.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
     /// Deterministic JSON export: `{"seen":…,"evicted":…,"events":[…]}`,
     /// events oldest-first, each `{"at_ns":…,"kind":…,…fields}`.
     pub fn to_json(&self) -> String {
-        let mut j = JsonBuf::new();
-        j.obj_open();
-        j.key("seen").u64(self.seen);
-        j.key("evicted").u64(self.evicted);
-        j.key("events").arr_open();
-        for ev in &self.buf {
-            j.obj_open();
-            j.key("at_ns").u64(ev.at_ns);
-            j.key("kind").str(ev.kind.label());
-            match ev.kind {
-                TraceKind::Enqueue { node, port, depth_pkts }
-                | TraceKind::Dequeue { node, port, depth_pkts } => {
-                    j.key("node").u64(node as u64);
-                    j.key("port").u64(port as u64);
-                    j.key("depth_pkts").u64(depth_pkts as u64);
-                }
-                TraceKind::Drop { node, port, reason } => {
-                    j.key("node").u64(node as u64);
-                    j.key("port").u64(port as u64);
-                    j.key("reason").str(reason.as_str());
-                }
-                TraceKind::Fault { action, subject, peer } => {
-                    j.key("action").str(action);
-                    j.key("subject").u64(subject as u64);
-                    if peer != u32::MAX {
-                        j.key("peer").u64(peer as u64);
-                    }
-                }
-                TraceKind::ProbeHarvest { switch, port, max_qlen_pkts } => {
-                    j.key("switch").u64(switch as u64);
-                    j.key("port").u64(port as u64);
-                    j.key("max_qlen_pkts").u64(max_qlen_pkts as u64);
-                }
-                TraceKind::RegisterReset { switch, register, port } => {
-                    j.key("switch").u64(switch as u64);
-                    j.key("register").str(register);
-                    j.key("port").u64(port as u64);
-                }
-            }
-            j.obj_close();
-        }
-        j.arr_close();
-        j.obj_close();
-        j.finish()
+        render_events_json(self.seen, self.evicted, &self.buf)
     }
+}
+
+/// Render one trace event as the next value in `j` — the single
+/// definition of the export shape, shared by [`TraceRing::to_json`],
+/// the streaming epoch writer, and the parallel-DES merged export.
+pub fn write_event(j: &mut JsonBuf, ev: &TraceEvent) {
+    j.obj_open();
+    j.key("at_ns").u64(ev.at_ns);
+    j.key("kind").str(ev.kind.label());
+    match ev.kind {
+        TraceKind::Enqueue { node, port, depth_pkts }
+        | TraceKind::Dequeue { node, port, depth_pkts } => {
+            j.key("node").u64(node as u64);
+            j.key("port").u64(port as u64);
+            j.key("depth_pkts").u64(depth_pkts as u64);
+        }
+        TraceKind::Drop { node, port, reason } => {
+            j.key("node").u64(node as u64);
+            j.key("port").u64(port as u64);
+            j.key("reason").str(reason.as_str());
+        }
+        TraceKind::Fault { action, subject, peer } => {
+            j.key("action").str(action);
+            j.key("subject").u64(subject as u64);
+            if peer != u32::MAX {
+                j.key("peer").u64(peer as u64);
+            }
+        }
+        TraceKind::ProbeHarvest { switch, port, max_qlen_pkts } => {
+            j.key("switch").u64(switch as u64);
+            j.key("port").u64(port as u64);
+            j.key("max_qlen_pkts").u64(max_qlen_pkts as u64);
+        }
+        TraceKind::RegisterReset { switch, register, port } => {
+            j.key("switch").u64(switch as u64);
+            j.key("register").str(register);
+            j.key("port").u64(port as u64);
+        }
+    }
+    j.obj_close();
+}
+
+/// Render the `{"seen":…,"evicted":…,"events":[…]}` document over an
+/// arbitrary event sequence (callers order it; see [`canonical_order`]).
+pub fn render_events_json<'a>(
+    seen: u64,
+    evicted: u64,
+    events: impl IntoIterator<Item = &'a TraceEvent>,
+) -> String {
+    let mut j = JsonBuf::new();
+    j.obj_open();
+    j.key("seen").u64(seen);
+    j.key("evicted").u64(evicted);
+    j.key("events").arr_open();
+    for ev in events {
+        write_event(&mut j, ev);
+    }
+    j.arr_close();
+    j.obj_close();
+    j.finish()
+}
+
+/// Sort events into the canonical export order: `(at_ns, node_key)`,
+/// stable. Every trace event is emitted by exactly one node's event
+/// dispatch, and a node's dispatch sequence does not depend on how the
+/// fabric is partitioned into domains — so after this sort, a merged
+/// multi-domain event stream is byte-identical to the single-loop one
+/// (provided nothing was sampled out or evicted differently, i.e.
+/// `sample_every == 1` and no eviction).
+pub fn canonical_order(events: &mut [TraceEvent]) {
+    events.sort_by_key(|e| (e.at_ns, e.kind.node_key()));
 }
 
 #[cfg(test)]
@@ -317,5 +369,47 @@ mod tests {
             r.to_json(),
             r#"{"seen":2,"evicted":0,"events":[{"at_ns":5,"kind":"drop","node":2,"port":1,"reason":"queue_full"},{"at_ns":9,"kind":"fault","action":"link_down","subject":3,"peer":4}]}"#
         );
+    }
+
+    #[test]
+    fn take_events_drains_but_keeps_counters() {
+        let mut r = TraceRing::new(8);
+        r.set_enabled(true);
+        for i in 0..3u32 {
+            r.push(i as u64, ev(i));
+        }
+        let taken = r.take_events();
+        assert_eq!(taken.len(), 3);
+        assert_eq!((r.seen(), r.len()), (3, 0), "counters survive the drain");
+        r.push(9, ev(9));
+        assert_eq!((r.seen(), r.len()), (4, 1));
+    }
+
+    #[test]
+    fn canonical_order_merges_per_node_streams() {
+        // Two "domain" streams, each internally ordered; the merged
+        // canonical order must equal the canonical order of the
+        // interleaved single-loop stream.
+        let mk = |at: u64, node: u32| TraceEvent { at_ns: at, kind: ev(node) };
+        let mut merged = vec![mk(1, 5), mk(2, 5), mk(1, 2), mk(3, 2)];
+        let mut single = vec![mk(1, 2), mk(1, 5), mk(2, 5), mk(3, 2)];
+        canonical_order(&mut merged);
+        canonical_order(&mut single);
+        assert_eq!(merged, single);
+        assert_eq!(
+            render_events_json(4, 0, &merged),
+            render_events_json(4, 0, &single)
+        );
+    }
+
+    #[test]
+    fn canonical_order_is_stable_within_a_node() {
+        // Same (at, node): insertion order is preserved — per-node
+        // subsequences are exactly the node's dispatch order.
+        let e1 = TraceEvent { at_ns: 7, kind: TraceKind::Enqueue { node: 1, port: 0, depth_pkts: 1 } };
+        let e2 = TraceEvent { at_ns: 7, kind: TraceKind::Dequeue { node: 1, port: 0, depth_pkts: 0 } };
+        let mut v = vec![e1, e2];
+        canonical_order(&mut v);
+        assert_eq!(v, vec![e1, e2]);
     }
 }

@@ -30,12 +30,16 @@ echo "$bench_log"
 # serve_batch path at 1/2/4/8 workers. rank_throughput_kpaths and
 # fabric_build (PR 8) guard results/bench_pr8.json: k-path ranking cost
 # vs the k=1 baseline, and the Clos control-plane build.
+# sim_throughput/domains_{1,2,4} (PR 9) guard results/bench_pr9.json:
+# the conservative parallel engine at each domain count (domains_1 is
+# the plain-engine baseline the overhead is priced against).
 for name in push_pop_far_1k timer_heavy_20s flow_table/lpm_indexed/512 flow_table/lpm_linear/512 \
             rank_throughput/testbed_8h rank_throughput/fabric_64s_128h \
             rank_throughput_mt/fabric_64s_128h/1 rank_throughput_mt/fabric_64s_128h/2 \
             rank_throughput_mt/fabric_64s_128h/4 rank_throughput_mt/fabric_64s_128h/8 \
             rank_throughput_kpaths/fabric_mp_128h/1 rank_throughput_kpaths/fabric_mp_128h/4 \
-            fabric_build/clos_128s_240h; do
+            fabric_build/clos_128s_240h \
+            sim_throughput/domains_1 sim_throughput/domains_2 sim_throughput/domains_4; do
     grep -q "$name" <<<"$bench_log" \
         || { echo "bench smoke: $name missing from harness"; exit 1; }
 done
@@ -146,5 +150,31 @@ assert any(
 ), "no ExcludeReason in the IntDelay cell after the link cut"
 print("audit smoke OK: %d decisions audited" % sum(c["decisions"] for c in cells))
 EOF
+
+echo "== giant run: streaming + domain determinism (smoke)"
+# Two contracts at once on a scaled-down giant Clos run:
+#  - the streaming epoch writer is an I/O strategy, not a format — the
+#    streamed (INT_OBS_STREAM=1) and in-core (=0) exports must be
+#    byte-identical;
+#  - the conservative parallel engine is invisible in the artifact —
+#    INT_SIM_DOMAINS=4 must reproduce the single-domain giant.jsonl
+#    byte-for-byte. (giant.json records the domain count and I/O mode,
+#    so only the epoch export is compared.)
+gs_dir="$(mktemp -d)"
+gi_dir="$(mktemp -d)"
+gd_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$nocache_dir" "$one_dir" "$many_dir" "$wf_dir" "$gs_dir" "$gi_dir" "$gd_dir"' EXIT
+INT_RESULTS_DIR="$gs_dir" INT_OBS_STREAM=1 INT_SIM_DOMAINS=1 \
+    cargo run --release -q -p int-experiments --bin repro -- giant --seed 1 --scale 0.02
+INT_RESULTS_DIR="$gi_dir" INT_OBS_STREAM=0 INT_SIM_DOMAINS=1 \
+    cargo run --release -q -p int-experiments --bin repro -- giant --seed 1 --scale 0.02
+cmp "$gs_dir/giant.jsonl" "$gi_dir/giant.jsonl" \
+    || { echo "giant smoke: INT_OBS_STREAM changed the epoch export"; exit 1; }
+INT_RESULTS_DIR="$gd_dir" INT_OBS_STREAM=1 INT_SIM_DOMAINS=4 \
+    cargo run --release -q -p int-experiments --bin repro -- giant --seed 1 --scale 0.02
+cmp "$gs_dir/giant.jsonl" "$gd_dir/giant.jsonl" \
+    || { echo "giant smoke: INT_SIM_DOMAINS changed the epoch export"; exit 1; }
+grep -q '"host_cores"' "$gs_dir/giant.runmeta.json" \
+    || { echo "giant smoke: runmeta sidecar missing host_cores"; exit 1; }
 
 echo "CI OK"
