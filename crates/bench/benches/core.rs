@@ -1,7 +1,7 @@
 //! Scheduler-core hot paths: probe ingestion, graph traversal, estimation,
 //! and ranking — what the scheduler pays per probe and per query.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use int_core::rank::{Ranker, StaticDistances};
 use int_core::shard::{RankQuery, ShardedScheduler};
 use int_core::{CoreConfig, DelayEstimator, IntCollector, NetNode, NetworkMap, Policy};
@@ -232,6 +232,79 @@ fn bench_rank_throughput_mt(c: &mut Criterion) {
     g.finish();
 }
 
+/// The PR-10 datacenter shape: a 512-switch Clos (256 leaf / 128 agg /
+/// 64 spine / 64 core) probed by 960 hosts toward scheduler host 10000.
+fn clos_chain(h: u32) -> [u32; 4] {
+    [1000 + h % 256, 2000 + h % 128, 3000 + h % 64, 4000 + h % 64]
+}
+
+/// A fully learned 512-switch Clos behind a one-shard scheduler, with
+/// two epochs already published so the incremental publisher holds its
+/// prev/older lineage. Eviction is parked out of reach: the bench
+/// prices publication, and an eviction mid-measurement would flip every
+/// epoch back to the full rebuild.
+fn clos_512_sched(incremental: bool) -> ShardedScheduler {
+    let cfg = CoreConfig { eviction_horizon_ns: u64::MAX, ..CoreConfig::default() };
+    let mut s = ShardedScheduler::new(10_000, cfg, StaticDistances::new(), 1, 1);
+    s.set_incremental_publish(incremental);
+    for h in 0..960u32 {
+        s.core_mut().collector_mut().ingest(&probe_through(h, &clos_chain(h), h % 8), 50_000_000);
+    }
+    s.advance(50_000_000);
+    s.core_mut().collector_mut().ingest(&probe_through(0, &clos_chain(0), 3), 50_100_000);
+    s.advance(50_100_000);
+    s
+}
+
+/// Epoch publication cost at 512-switch scale with a sparse update (two
+/// probes sharing the agg/spine/core tiers → 7 distinct dirty edges per
+/// epoch, within the ≤8 the sustained cadence produces): the full
+/// rebuild reprices every CSR arc, the incremental path only the dirty
+/// ones — the ratio is the PR-10 headline number.
+fn bench_publish_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("publish_throughput");
+    for mode in ["full", "incremental"] {
+        g.bench_function(BenchmarkId::new("clos_512s", mode), |b| {
+            let mut s = clos_512_sched(mode == "incremental");
+            let mut t = 50_100_000u64;
+            let mut seq = 10u64;
+            b.iter(|| {
+                t += 100_000_000;
+                seq += 1;
+                let mut p0 = probe_through(0, &clos_chain(0), (seq % 8) as u32);
+                p0.seq = seq;
+                let mut p1 = probe_through(128, &clos_chain(128), (seq % 8) as u32);
+                p1.seq = seq;
+                s.core_mut().collector_mut().ingest(&p0, t);
+                s.core_mut().collector_mut().ingest(&p1, t);
+                black_box(s.advance(t))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Batched probe drain on the dense edge-indexed map: one epoch's
+/// backlog (every host re-probing its learned chain) through
+/// `ingest_batch`, all O(1) interned-edge metric writes.
+fn bench_ingest_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest_throughput");
+    let backlog: Vec<ProbePayload> =
+        (0..960u32).map(|h| probe_through(h, &clos_chain(h), h % 8)).collect();
+    g.throughput(Throughput::Elements(backlog.len() as u64));
+    g.bench_function("clos_512s_960probes", |b| {
+        let mut col = IntCollector::new(10_000);
+        col.ingest_batch(&backlog, 50_000_000); // learn topology once
+        let mut t = 50_000_000u64;
+        b.iter(|| {
+            t += 100_000_000;
+            col.ingest_batch(black_box(&backlog), t);
+            black_box(col.probes_accepted())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_probe_ingest,
@@ -240,6 +313,8 @@ criterion_group!(
     bench_ranking,
     bench_rank_throughput,
     bench_rank_throughput_kpaths,
-    bench_rank_throughput_mt
+    bench_rank_throughput_mt,
+    bench_publish_throughput,
+    bench_ingest_throughput
 );
 criterion_main!(benches);

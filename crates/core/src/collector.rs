@@ -19,8 +19,13 @@ pub struct OriginStats {
     pub max_seq: u64,
     /// Sequence gaps observed (probes presumed lost in the network).
     pub lost: u64,
-    /// Probes that arrived with a lower-than-expected sequence.
+    /// Probes that arrived with a lower-than-expected sequence — genuinely
+    /// late arrivals, not re-deliveries of the newest probe.
     pub reordered: u64,
+    /// Exact re-deliveries of the highest sequence seen (`seq == max_seq`).
+    /// Formerly misfiled under `reordered`: a duplicated packet is a
+    /// network-duplication signal, not an ordering one.
+    pub duplicate: u64,
     /// Receive time of the most recent probe, ns.
     pub last_rx_ns: u64,
 }
@@ -39,6 +44,8 @@ impl OriginStats {
             // Gap: sequences between max_seq+1 and seq-1 never arrived.
             self.lost += seq - self.max_seq - 1;
             self.max_seq = seq;
+        } else if seq == self.max_seq {
+            self.duplicate += 1;
         } else {
             self.reordered += 1;
         }
@@ -146,6 +153,19 @@ impl IntCollector {
         self.map.apply_probe(probe, self.scheduler_host, now_ns);
     }
 
+    /// Drain a backlog of decoded probes accumulated over one collection
+    /// interval, all stamped with the interval's receive time. Equivalent
+    /// to calling [`IntCollector::ingest`] per probe in order; exists so
+    /// the publish loop runs once per *batch* instead of once per probe.
+    pub fn ingest_batch<'a, I>(&mut self, probes: I, now_ns: u64)
+    where
+        I: IntoIterator<Item = &'a ProbePayload>,
+    {
+        for p in probes {
+            self.ingest(p, now_ns);
+        }
+    }
+
     /// Origins presumed unreachable: they sent probes before but nothing
     /// within `horizon_ns` of `now_ns` (deterministic order).
     pub fn silent_origins(&self, now_ns: u64, horizon_ns: u64) -> Vec<u32> {
@@ -237,15 +257,33 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_seq_counts_as_reordered_not_lost() {
+    fn duplicate_seq_counts_as_duplicate_not_lost_or_reordered() {
         let mut c = IntCollector::new(6);
         c.ingest(&probe(1, 5), 1);
         c.ingest(&probe(1, 5), 2);
         let st = c.origin_stats(1);
         assert_eq!(st.received, 2);
         assert_eq!(st.lost, 0, "a duplicate is not a gap");
-        assert_eq!(st.reordered, 1);
+        assert_eq!(st.duplicate, 1);
+        assert_eq!(st.reordered, 0, "an exact re-delivery is not reordering");
         assert_eq!(st.max_seq, 5);
+    }
+
+    /// Regression: `seq == max_seq` used to be misfiled under `reordered`.
+    /// The two signals must stay distinguishable — a duplicated newest
+    /// probe and a genuinely late straggler are different network events.
+    #[test]
+    fn duplicate_and_late_probes_count_separately() {
+        let mut c = IntCollector::new(6);
+        c.ingest(&probe(1, 0), 1);
+        c.ingest(&probe(1, 10), 2); // gap 1..=9
+        c.ingest(&probe(1, 10), 3); // exact duplicate of the newest
+        c.ingest(&probe(1, 7), 4); // straggler from inside the gap
+        let st = c.origin_stats(1);
+        assert_eq!(st.duplicate, 1, "only the re-delivered 10");
+        assert_eq!(st.reordered, 1, "only the late 7");
+        assert_eq!(st.lost, 9);
+        assert_eq!(st.max_seq, 10);
     }
 
     #[test]
@@ -278,7 +316,33 @@ mod tests {
         let r = relayed.origin_stats(1);
         assert_eq!(d, r, "relayed accounting must match direct accounting");
         assert_eq!(d.lost, 3 + 3, "gaps 2..=4 and 7..=9");
-        assert_eq!(d.reordered, 2, "the late 3 and the duplicate 6");
+        assert_eq!(d.reordered, 1, "the late 3");
+        assert_eq!(d.duplicate, 1, "the re-delivered 6");
+    }
+
+    /// A batch drain is byte-equivalent to per-probe ingest in the same
+    /// order with the same timestamp.
+    #[test]
+    fn ingest_batch_matches_per_probe_ingest() {
+        let backlog: Vec<ProbePayload> =
+            [(1u32, 0u64), (2, 0), (1, 1), (3, 5), (1, 1)].iter().map(|&(o, s)| probe(o, s)).collect();
+        let mut one_by_one = IntCollector::new(6);
+        for p in &backlog {
+            one_by_one.ingest(p, 7_000_000);
+        }
+        let mut batched = IntCollector::new(6);
+        batched.ingest_batch(&backlog, 7_000_000);
+
+        assert_eq!(batched.probes_accepted(), one_by_one.probes_accepted());
+        assert_eq!(
+            batched.origin_stats_all().collect::<Vec<_>>(),
+            one_by_one.origin_stats_all().collect::<Vec<_>>()
+        );
+        assert_eq!(batched.map().edge_count(), one_by_one.map().edge_count());
+        assert_eq!(
+            batched.map().metrics_generation(),
+            one_by_one.map().metrics_generation()
+        );
     }
 
     /// Relayed probes keep the first-probe special case: a large initial

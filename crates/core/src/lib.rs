@@ -46,9 +46,11 @@ pub use collector::IntCollector;
 pub use compute::{Capabilities, CompositePolicy, ComputeTracker};
 pub use config::CoreConfig;
 pub use estimate::{BandwidthEstimator, DelayEstimator};
-pub use map::{EdgeState, NetNode, NetworkMap};
+pub use map::{EdgeId, EdgeState, NetNode, NetworkMap};
 pub use pathidx::{PathEngine, PathEngineStats};
 pub use rank::{ExcludeReason, Policy, RankOutcome, RankedServer};
 pub use sched::SchedulerCore;
 pub use shard::{EpochSlot, RankQuery, ShardedScheduler};
-pub use snapshot::{SchedSnapshot, SnapshotScratch, SnapshotServeStats};
+pub use snapshot::{
+    PublishStats, SchedSnapshot, SnapshotPublisher, SnapshotScratch, SnapshotServeStats,
+};

@@ -74,10 +74,72 @@ impl EdgeState {
 /// timestamp window retains in practice.
 const QLEN_HISTORY_HARD_CAP: usize = 1024;
 
+/// Stable identifier of an interned directed edge. Ids are assigned on
+/// first sighting and never reused: an evicted edge keeps its id (slot
+/// marked dead) and a probe that re-learns it revives the same id.
+pub type EdgeId = u32;
+
+/// Sentinel for an empty bucket in the open-addressed edge lookup table.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// One interned directed edge: endpoints, liveness, dirty stamp, state.
+#[derive(Debug, Clone)]
+struct EdgeSlot {
+    from: NetNode,
+    to: NetNode,
+    /// Dead slots (evicted edges) keep their id and lookup entry so a
+    /// re-learning probe revives the same `EdgeId`.
+    live: bool,
+    /// Last dirty epoch this edge was recorded in; dedupes the dirty list
+    /// to one entry per edge per publish interval.
+    stamp: u64,
+    state: EdgeState,
+}
+
+/// SplitMix64 finalizer — cheap, well-mixed hash for the edge lookup.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Injective 64-bit encoding of a node (hosts and switches never collide).
+fn node_key(n: NetNode) -> u64 {
+    match n {
+        NetNode::Host(h) => h as u64,
+        NetNode::Switch(s) => (1u64 << 32) | s as u64,
+    }
+}
+
+/// Hash of a *directed* edge; asymmetric so (a,b) and (b,a) differ.
+fn pair_hash(from: NetNode, to: NetNode) -> u64 {
+    mix64(node_key(from) ^ mix64(node_key(to).wrapping_add(0x9E37_79B9_7F4A_7C15)))
+}
+
 /// The learned network graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Edge storage is a dense interned slab: each directed edge gets a stable
+/// [`EdgeId`] on first sighting, hot-path updates are O(1) hash-probe +
+/// array write, and deterministic iteration goes through a sorted id list
+/// maintained only on structural changes. Edges touched since the last
+/// [`NetworkMap::take_dirty_into`] accumulate in a deduped dirty list so
+/// the snapshot publisher can reprice only what changed.
+#[derive(Debug, Clone)]
 pub struct NetworkMap {
-    edges: BTreeMap<(NetNode, NetNode), EdgeState>,
+    /// Edge slab, indexed by `EdgeId`. Append-only; eviction marks slots
+    /// dead instead of removing them.
+    slots: Vec<EdgeSlot>,
+    /// Open-addressed (linear probing, power-of-two capacity) table from
+    /// directed endpoint pair to `EdgeId`. Entries are never removed —
+    /// dead slots keep theirs for revival.
+    lookup: Vec<u32>,
+    /// Live edge ids sorted by `(from, to)`; gives `edges()` the same
+    /// deterministic order the old `BTreeMap` store had. Maintained on
+    /// structural changes only (insert/revive/evict).
+    order: Vec<EdgeId>,
     hosts: BTreeSet<u32>,
     switches: BTreeSet<u32>,
     /// Edges evicted for not being refreshed within the aging horizon,
@@ -93,20 +155,28 @@ pub struct NetworkMap {
     /// Bumped whenever the *structure* of the graph changes: an edge is
     /// inserted or evicted, or a node joins the host/switch sets. The
     /// indexed path engine keys its CSR adjacency snapshot on this.
-    #[serde(skip)]
     topo_gen: u64,
     /// Bumped on metric-only updates (delay/queue refresh of an existing
     /// edge). Does not invalidate adjacency structure, only edge weights
     /// and cached shortest paths.
-    #[serde(skip)]
     metrics_gen: u64,
+    /// Edge ids touched since the last `take_dirty_into`, one entry per
+    /// edge (deduped via `EdgeSlot::stamp` against `dirty_epoch`).
+    dirty: Vec<EdgeId>,
+    /// Current dirty interval; bumped when the dirty list is drained.
+    /// Starts at 1 so freshly interned slots (stamp 0) always differ.
+    dirty_epoch: u64,
+    /// Reusable node-path buffer for `apply_probe`.
+    path_scratch: Vec<NetNode>,
 }
 
 impl Default for NetworkMap {
     fn default() -> Self {
         let defaults = CoreConfig::default();
         NetworkMap {
-            edges: BTreeMap::new(),
+            slots: Vec::new(),
+            lookup: Vec::new(),
+            order: Vec::new(),
             hosts: BTreeSet::new(),
             switches: BTreeSet::new(),
             evicted: BTreeMap::new(),
@@ -114,6 +184,9 @@ impl Default for NetworkMap {
             qlen_retention_ns: defaults.qlen_window_ns,
             topo_gen: 0,
             metrics_gen: 0,
+            dirty: Vec::new(),
+            dirty_epoch: 1,
+            path_scratch: Vec::new(),
         }
     }
 }
@@ -148,17 +221,158 @@ impl NetworkMap {
 
     /// Number of directed edges with state.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.order.len()
     }
 
-    /// All directed edges (deterministic order).
+    /// All directed edges (deterministic `(from, to)` order).
     pub fn edges(&self) -> impl Iterator<Item = (NetNode, NetNode, &EdgeState)> + '_ {
-        self.edges.iter().map(|((a, b), s)| (*a, *b, s))
+        self.order.iter().map(|&id| {
+            let s = &self.slots[id as usize];
+            (s.from, s.to, &s.state)
+        })
     }
 
     /// Directed edge state, if probed.
     pub fn edge(&self, from: NetNode, to: NetNode) -> Option<&EdgeState> {
-        self.edges.get(&(from, to))
+        let s = &self.slots[self.find_slot(from, to)? as usize];
+        s.live.then_some(&s.state)
+    }
+
+    /// Endpoints and state of a *live* edge by id; `None` when the id is
+    /// unknown or the edge is currently dead (evicted).
+    pub fn edge_by_id(&self, id: EdgeId) -> Option<(NetNode, NetNode, &EdgeState)> {
+        let s = self.slots.get(id as usize)?;
+        s.live.then_some((s.from, s.to, &s.state))
+    }
+
+    /// Drain the dirty-edge list (edge ids touched since the previous
+    /// drain, deduped) into `out`, clearing it first. Starts a new dirty
+    /// interval: subsequent touches re-record their edges.
+    pub fn take_dirty_into(&mut self, out: &mut Vec<EdgeId>) {
+        out.clear();
+        out.extend_from_slice(&self.dirty);
+        self.dirty.clear();
+        self.dirty_epoch += 1;
+    }
+
+    /// Number of distinct edges touched since the last dirty drain.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Look up the slot id of a directed edge (live or dead).
+    fn find_slot(&self, from: NetNode, to: NetNode) -> Option<u32> {
+        if self.lookup.is_empty() {
+            return None;
+        }
+        let mask = self.lookup.len() - 1;
+        let mut i = (pair_hash(from, to) as usize) & mask;
+        loop {
+            match self.lookup[i] {
+                EMPTY_SLOT => return None,
+                id => {
+                    let s = &self.slots[id as usize];
+                    if s.from == from && s.to == to {
+                        return Some(id);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Record `id` as touched in the current dirty interval (deduped).
+    fn mark_dirty(&mut self, id: EdgeId) {
+        let s = &mut self.slots[id as usize];
+        if s.stamp != self.dirty_epoch {
+            s.stamp = self.dirty_epoch;
+            self.dirty.push(id);
+        }
+    }
+
+    /// Resolve-or-create the slot for a directed edge, with generation
+    /// accounting: refresh of a live edge is metric-only; a brand-new or
+    /// revived (previously evicted) edge is a structural change.
+    fn intern(&mut self, from: NetNode, to: NetNode, now_ns: u64) -> EdgeId {
+        let id = if let Some(id) = self.find_slot(from, to) {
+            if self.slots[id as usize].live {
+                self.metrics_gen += 1;
+            } else {
+                // Revive a dead edge: same id, fresh state, structural.
+                let s = &mut self.slots[id as usize];
+                s.live = true;
+                s.state = EdgeState::new(now_ns);
+                self.topo_gen += 1;
+                self.evicted.remove(&(from, to));
+                self.insert_order(id);
+            }
+            id
+        } else {
+            let id = self.slots.len() as u32;
+            self.slots.push(EdgeSlot {
+                from,
+                to,
+                live: true,
+                stamp: 0,
+                state: EdgeState::new(now_ns),
+            });
+            self.topo_gen += 1;
+            self.index_insert(id);
+            self.insert_order(id);
+            id
+        };
+        self.mark_dirty(id);
+        id
+    }
+
+    /// Add a freshly pushed slot to the lookup table, growing as needed.
+    fn index_insert(&mut self, id: u32) {
+        // Grow at 7/8 load counting every slot (dead ones keep entries).
+        if self.slots.len() * 8 >= self.lookup.len() * 7 {
+            self.rebuild_lookup();
+            return; // rebuild indexed every slot, including `id`
+        }
+        let (from, to) = {
+            let s = &self.slots[id as usize];
+            (s.from, s.to)
+        };
+        let mask = self.lookup.len() - 1;
+        let mut i = (pair_hash(from, to) as usize) & mask;
+        while self.lookup[i] != EMPTY_SLOT {
+            i = (i + 1) & mask;
+        }
+        self.lookup[i] = id;
+    }
+
+    /// Rebuild the lookup table at double capacity over the whole slab.
+    fn rebuild_lookup(&mut self) {
+        let cap = (self.lookup.len() * 2).max(16);
+        self.lookup.clear();
+        self.lookup.resize(cap, EMPTY_SLOT);
+        let mask = cap - 1;
+        for (id, s) in self.slots.iter().enumerate() {
+            let mut i = (pair_hash(s.from, s.to) as usize) & mask;
+            while self.lookup[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            self.lookup[i] = id as u32;
+        }
+    }
+
+    /// Insert a (newly live) id into the sorted iteration order.
+    fn insert_order(&mut self, id: EdgeId) {
+        let key = {
+            let s = &self.slots[id as usize];
+            (s.from, s.to)
+        };
+        let pos = self
+            .order
+            .binary_search_by(|&o| {
+                let s = &self.slots[o as usize];
+                (s.from, s.to).cmp(&key)
+            })
+            .unwrap_or_else(|p| p);
+        self.order.insert(pos, id);
     }
 
     /// Topology generation: incremented on every structural change (edge
@@ -208,7 +422,9 @@ impl NetworkMap {
         }
 
         // Build the node path: origin → s1 → … → sk → scheduler.
-        let mut path = Vec::with_capacity(records.len() + 2);
+        let mut path = std::mem::take(&mut self.path_scratch);
+        path.clear();
+        path.reserve(records.len() + 2);
         path.push(NetNode::Host(probe.origin_node));
         path.extend(records.iter().map(|r| NetNode::Switch(r.switch_id)));
         path.push(NetNode::Host(scheduler_host));
@@ -227,13 +443,13 @@ impl NetworkMap {
         for (i, r) in records.iter().enumerate() {
             self.update_qlen(path[i + 1], path[i + 2], r.max_qlen_pkts, r.qlen_at_probe_pkts, now_ns);
         }
+        self.path_scratch = path;
     }
 
     fn update_delay(&mut self, from: NetNode, to: NetNode, sample_ns: u64, now_ns: u64) {
-        self.evicted.remove(&(from, to));
         let w = self.delay_ewma_new_eighths as u64;
-        self.note_edge_touch(from, to);
-        let e = self.edges.entry((from, to)).or_insert_with(|| EdgeState::new(now_ns));
+        let id = self.intern(from, to, now_ns);
+        let e = &mut self.slots[id as usize].state;
         e.last_delay_ns = sample_ns;
         e.delay_ns = if e.samples == 0 {
             sample_ns
@@ -248,21 +464,10 @@ impl NetworkMap {
         e.updated_ns = now_ns;
     }
 
-    /// Account one edge write: insertion of a previously unknown edge is a
-    /// structural change, a refresh of an existing one is metric-only.
-    fn note_edge_touch(&mut self, from: NetNode, to: NetNode) {
-        if self.edges.contains_key(&(from, to)) {
-            self.metrics_gen += 1;
-        } else {
-            self.topo_gen += 1;
-        }
-    }
-
     fn update_qlen(&mut self, from: NetNode, to: NetNode, max_q: u32, inst_q: u32, now_ns: u64) {
-        self.evicted.remove(&(from, to));
         let retention = self.qlen_retention_ns;
-        self.note_edge_touch(from, to);
-        let e = self.edges.entry((from, to)).or_insert_with(|| EdgeState::new(now_ns));
+        let id = self.intern(from, to, now_ns);
+        let e = &mut self.slots[id as usize].state;
         e.max_qlen_pkts = max_q;
         e.qlen_at_probe_pkts = inst_q;
         e.qlen_updated_ns = now_ns;
@@ -285,30 +490,47 @@ impl NetworkMap {
     /// them. Returns the edges evicted by this call, in deterministic
     /// order.
     pub fn evict_stale(&mut self, now_ns: u64, horizon_ns: u64) -> Vec<(NetNode, NetNode)> {
-        let dead: Vec<(NetNode, NetNode)> = self
-            .edges
+        // `order` is sorted by (from, to), so the dead list comes out in
+        // the same deterministic order the BTreeMap store produced.
+        let dead_ids: Vec<EdgeId> = self
+            .order
             .iter()
-            .filter(|(_, e)| now_ns.saturating_sub(e.updated_ns) > horizon_ns)
-            .map(|(k, _)| *k)
+            .copied()
+            .filter(|&id| {
+                let s = &self.slots[id as usize];
+                now_ns.saturating_sub(s.state.updated_ns) > horizon_ns
+            })
             .collect();
-        for key in &dead {
-            self.edges.remove(key);
-            self.evicted.insert(*key, now_ns);
+        if dead_ids.is_empty() {
+            return Vec::new();
         }
-        if !dead.is_empty() {
-            self.topo_gen += 1;
-            // A switch is only known through its edges; drop the ones that
-            // no longer appear on any.
-            let mut live = BTreeSet::new();
-            for (a, b) in self.edges.keys() {
-                for n in [a, b] {
-                    if let NetNode::Switch(s) = n {
-                        live.insert(*s);
-                    }
+        let mut dead = Vec::with_capacity(dead_ids.len());
+        for &id in &dead_ids {
+            let (from, to) = {
+                let s = &mut self.slots[id as usize];
+                s.live = false;
+                // Release dead history memory; revival resets state anyway.
+                s.state.qlen_history = Vec::new();
+                (s.from, s.to)
+            };
+            self.evicted.insert((from, to), now_ns);
+            dead.push((from, to));
+        }
+        let mut order = std::mem::take(&mut self.order);
+        order.retain(|&id| self.slots[id as usize].live);
+        self.order = order;
+        self.topo_gen += 1;
+        // A switch is only known through its edges; drop the ones that
+        // no longer appear on any.
+        let mut live = BTreeSet::new();
+        for (a, b, _) in self.edges() {
+            for n in [a, b] {
+                if let NetNode::Switch(s) = n {
+                    live.insert(s);
                 }
             }
-            self.switches = live;
         }
+        self.switches = live;
         dead
     }
 
@@ -321,14 +543,14 @@ impl NetworkMap {
     /// Effective delay of a directed edge for estimation, honouring the
     /// direction-fallback policy; `None` if neither direction was probed.
     pub fn effective_delay_ns(&self, cfg: &CoreConfig, from: NetNode, to: NetNode) -> Option<u64> {
-        if let Some(e) = self.edges.get(&(from, to)) {
+        if let Some(e) = self.edge(from, to) {
             if e.samples > 0 {
                 return Some(e.delay_ns);
             }
         }
         match cfg.direction_fallback {
             DirectionFallback::ReverseOk => {
-                self.edges.get(&(to, from)).filter(|e| e.samples > 0).map(|e| e.delay_ns)
+                self.edge(to, from).filter(|e| e.samples > 0).map(|e| e.delay_ns)
             }
             DirectionFallback::Strict => None,
         }
@@ -347,13 +569,13 @@ impl NetworkMap {
                 Some(0)
             }
         };
-        if let Some(e) = self.edges.get(&(from, to)) {
+        if let Some(e) = self.edge(from, to) {
             if let Some(q) = fresh(e) {
                 return q;
             }
         }
         if cfg.direction_fallback == DirectionFallback::ReverseOk {
-            if let Some(e) = self.edges.get(&(to, from)) {
+            if let Some(e) = self.edge(to, from) {
                 if let Some(q) = fresh(e) {
                     return q;
                 }
@@ -365,12 +587,12 @@ impl NetworkMap {
     /// Undirected neighbours of a node (for graph traversal).
     pub fn neighbours(&self, node: NetNode) -> Vec<NetNode> {
         let mut out = BTreeSet::new();
-        for (a, b) in self.edges.keys() {
-            if *a == node {
-                out.insert(*b);
+        for (a, b, _) in self.edges() {
+            if a == node {
+                out.insert(b);
             }
-            if *b == node {
-                out.insert(*a);
+            if b == node {
+                out.insert(a);
             }
         }
         out.into_iter().collect()
@@ -810,6 +1032,73 @@ mod tests {
         let selfp = m.k_paths(&cfg, NetNode::Host(1), NetNode::Host(1), 3);
         assert_eq!(selfp, vec![vec![NetNode::Host(1)]]);
         assert!(m.k_paths(&cfg, NetNode::Host(1), NetNode::Host(42), 3).is_empty());
+    }
+
+    #[test]
+    fn dirty_list_dedupes_per_interval_and_drains() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        // 3 delay edges + 2 qlen edges, overlapping: 3 distinct edges.
+        assert_eq!(m.dirty_count(), 3);
+        let mut dirty = Vec::new();
+        m.take_dirty_into(&mut dirty);
+        assert_eq!(dirty.len(), 3);
+        assert_eq!(m.dirty_count(), 0);
+        for &id in &dirty {
+            assert!(m.edge_by_id(id).is_some(), "dirty ids resolve to live edges");
+        }
+
+        // Re-probing the same path re-dirties the same edges once each.
+        m.apply_probe(&two_hop_probe(), 6, 64_000_000);
+        assert_eq!(m.dirty_count(), 3);
+        let mut again = Vec::new();
+        m.take_dirty_into(&mut again);
+        assert_eq!(dirty, again, "stable ids: the same edges re-report");
+    }
+
+    #[test]
+    fn edge_ids_are_stable_across_eviction_and_revival() {
+        let mut m = NetworkMap::new();
+        m.apply_probe(&two_hop_probe(), 6, 32_000_000);
+        let mut before = Vec::new();
+        m.take_dirty_into(&mut before);
+        before.sort_unstable();
+
+        let later = 32_000_000 + 10_000_000_001;
+        m.evict_stale(later, 10_000_000_000);
+        for &id in &before {
+            assert!(m.edge_by_id(id).is_none(), "dead edges resolve to None");
+        }
+
+        m.apply_probe(&two_hop_probe(), 6, later + 1);
+        let mut after = Vec::new();
+        m.take_dirty_into(&mut after);
+        after.sort_unstable();
+        assert_eq!(before, after, "revived edges keep their interned ids");
+        for &id in &after {
+            assert!(m.edge_by_id(id).is_some());
+        }
+    }
+
+    #[test]
+    fn interned_lookup_survives_table_growth() {
+        // Enough distinct edges to force several lookup-table rebuilds.
+        let mut m = NetworkMap::new();
+        for i in 0..200u32 {
+            let mut p = ProbePayload::new(1 + i % 7, i as u64, 0);
+            p.int.push(rec(100 + i, 1, 5, 11));
+            p.int.push(rec(500 + i, 2, 5, 22));
+            m.apply_probe(&p, 6, 32_000_000 + i as u64);
+        }
+        // Every learned edge is still addressable and iteration is sorted.
+        let keys: Vec<_> = m.edges().map(|(a, b, _)| (a, b)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "edges() iterates in (from, to) order");
+        for (a, b) in keys {
+            assert!(m.edge(a, b).is_some());
+        }
+        assert!(m.edge(NetNode::Host(1), NetNode::Switch(999)).is_none());
     }
 
     #[test]

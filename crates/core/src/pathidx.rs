@@ -338,8 +338,8 @@ impl PathEngine {
         self.arc_mask.clear();
         self.arc_mask.resize(self.cols.len(), false);
         for _ in 1..k {
-            let last = out.last().expect("non-empty").clone();
-            self.ban_interior_edges(&last);
+            let last = out.last().expect("non-empty");
+            self.ban_interior_edges(last);
             let Some(p) = self.masked_path(from_id, to_id) else { break };
             if out.contains(&p) {
                 break;

@@ -27,10 +27,10 @@
 //! single-threaded oracle evaluated at the same map state.
 
 use crate::config::CoreConfig;
-use crate::pathidx::PathEngine;
 use crate::rank::{Policy, RankOutcome, RankedServer, StaticDistances};
 use crate::sched::SchedulerCore;
-use crate::snapshot::{SchedSnapshot, SnapshotScratch};
+use crate::snapshot::{PublishStats, SchedSnapshot, SnapshotPublisher, SnapshotScratch};
+use int_packet::ProbePayload;
 use int_obs::{Labels, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -117,8 +117,9 @@ struct RankShard {
 /// The sharded scheduler control plane: ingest + publish + N read shards.
 pub struct ShardedScheduler {
     core: SchedulerCore,
-    /// CSR build machinery reused across publishes (generation-checked).
-    builder: PathEngine,
+    /// Epoch publisher: full CSR builds on topology change, O(dirty)
+    /// incremental patches otherwise.
+    publisher: SnapshotPublisher,
     slot: Arc<EpochSlot>,
     shards: Vec<Mutex<RankShard>>,
     seed: u64,
@@ -146,7 +147,7 @@ impl ShardedScheduler {
         let n = shards.max(1);
         ShardedScheduler {
             core,
-            builder: PathEngine::new(),
+            publisher: SnapshotPublisher::new(),
             slot: Arc::new(EpochSlot::new()),
             shards: (0..n).map(|_| Mutex::new(RankShard::default())).collect(),
             seed,
@@ -222,20 +223,44 @@ impl ShardedScheduler {
             return false;
         }
         self.epoch += 1;
-        let snap = Arc::new(SchedSnapshot::build(
-            self.core.collector(),
-            &mut self.builder,
-            &self.core.config_arc(),
-            &self.core.distances_arc(),
+        let cfg = self.core.config_arc();
+        let distances = self.core.distances_arc();
+        let snap = self.publisher.publish(
+            self.core.collector_mut(),
+            &cfg,
+            &distances,
             self.seed,
             self.epoch,
             now_ns,
-        ));
+        );
         self.slot.publish(snap);
         self.published_key = Some(key);
         self.metrics.counter_inc("sched_snapshot_publishes", Labels::none());
         self.metrics.gauge_set("sched_epoch", Labels::none(), self.epoch as i64, now_ns);
         true
+    }
+
+    /// Drain a probe backlog into the collector and publish (at most)
+    /// one epoch covering all of it — the batched ingest entry point for
+    /// epoch-paced scenarios, instead of interleaving one publish per
+    /// probe. Returns `true` if a new epoch was published.
+    pub fn ingest_batch<'a, I>(&mut self, probes: I, now_ns: u64) -> bool
+    where
+        I: IntoIterator<Item = &'a ProbePayload>,
+    {
+        self.core.collector_mut().ingest_batch(probes, now_ns);
+        self.advance(now_ns)
+    }
+
+    /// Full vs incremental publish counters.
+    pub fn publish_stats(&self) -> PublishStats {
+        self.publisher.stats()
+    }
+
+    /// Force the publisher's incremental path on or off (benches, A/B
+    /// smokes); normally governed by `INT_SNAP_INCREMENTAL`.
+    pub fn set_incremental_publish(&mut self, on: bool) {
+        self.publisher.set_incremental(on);
     }
 
     /// Serve a batch of queries against the current snapshot, one

@@ -67,10 +67,35 @@ struct ArcQlen {
     /// Offset/length of this arc's harvest history in `qlen_hist`.
     hist_start: u32,
     hist_len: u32,
+    /// Slot capacity reserved for this arc's run in `qlen_hist` (full
+    /// builds leave headroom so incremental publishes can splice longer
+    /// runs in place; a run outgrowing its slot forces a full rebuild).
+    hist_cap: u32,
 }
 
-const NO_QLEN: ArcQlen =
-    ArcQlen { present: false, updated_ns: 0, at_probe_pkts: 0, hist_start: 0, hist_len: 0 };
+const NO_QLEN: ArcQlen = ArcQlen {
+    present: false,
+    updated_ns: 0,
+    at_probe_pkts: 0,
+    hist_start: 0,
+    hist_len: 0,
+    hist_cap: 0,
+};
+
+/// The structural half of a snapshot: CSR adjacency and the candidate
+/// host universe. Immutable for as long as the map's `topo_gen` holds,
+/// so consecutive incremental epochs share one allocation via `Arc`.
+#[derive(Debug)]
+struct CsrTopo {
+    /// All nodes in ascending `NetNode` order; index = dense id.
+    nodes: Vec<NetNode>,
+    /// CSR row offsets (`nodes.len() + 1` entries).
+    row: Vec<u32>,
+    /// CSR columns (neighbour dense ids, sorted per row).
+    cols: Vec<u32>,
+    /// Every known host, ascending — the candidate universe.
+    hosts: Vec<u32>,
+}
 
 /// One frozen epoch of the scheduler control plane. Immutable and
 /// `Send + Sync`: any number of shards may evaluate queries against it
@@ -83,12 +108,15 @@ pub struct SchedSnapshot {
     distances: Arc<StaticDistances>,
     /// Base seed for the per-query Random-policy RNG derivation.
     seed: u64,
-    /// All nodes in ascending `NetNode` order; index = dense id.
-    nodes: Vec<NetNode>,
-    /// CSR row offsets (`nodes.len() + 1` entries).
-    row: Vec<u32>,
-    /// CSR columns (neighbour dense ids, sorted per row).
-    cols: Vec<u32>,
+    /// Structure (nodes/adjacency/hosts), shared across incremental
+    /// epochs while the map's topology generation holds.
+    topo: Arc<CsrTopo>,
+    /// Map topology generation this snapshot's structure was frozen at;
+    /// the publisher's incremental path requires it unchanged.
+    topo_gen: u64,
+    /// Identity of the `qlen_hist` slot layout (bumped per full build);
+    /// two snapshots with equal `layout_gen` share slot offsets/caps.
+    layout_gen: u64,
     /// ≥1-clamped traversal weight per arc (parallel to `cols`).
     weights: Vec<u64>,
     /// Unclamped effective link delay per arc — the estimate's per-link
@@ -97,10 +125,9 @@ pub struct SchedSnapshot {
     est_delay: Vec<u64>,
     /// Queue evidence per arc (parallel to `cols`).
     arc_q: Vec<ArcQlen>,
-    /// Flat storage for all arcs' harvest histories.
+    /// Flat slotted storage for all arcs' harvest histories (runs padded
+    /// to their slot capacity).
     qlen_hist: Vec<(u64, u32)>,
-    /// Every known host, ascending — the candidate universe.
-    hosts: Vec<u32>,
     /// `(origin, last_rx_ns)` per probe origin with ≥1 probe, ascending.
     origins: Vec<(u32, u64)>,
 }
@@ -119,7 +146,27 @@ impl SchedSnapshot {
         epoch: u64,
         published_at_ns: u64,
     ) -> Self {
+        Self::build_full(collector, engine, cfg, distances, seed, epoch, published_at_ns, 0, 0)
+    }
+
+    /// The full (re)build: freeze everything from the live map. The
+    /// publisher passes `hist_hint` (the previous epoch's `qlen_hist`
+    /// length) to pre-size the flat history store, and a `layout_gen`
+    /// identifying the slot layout this build creates.
+    #[allow(clippy::too_many_arguments)]
+    fn build_full(
+        collector: &IntCollector,
+        engine: &mut PathEngine,
+        cfg: &Arc<CoreConfig>,
+        distances: &Arc<StaticDistances>,
+        seed: u64,
+        epoch: u64,
+        published_at_ns: u64,
+        hist_hint: usize,
+        layout_gen: u64,
+    ) -> Self {
         let map = collector.map();
+        let topo_gen = map.topology_generation();
         let (nodes, row, cols, weights) = engine.csr_view(map, cfg);
         let nodes = nodes.to_vec();
         let row = row.to_vec();
@@ -129,7 +176,7 @@ impl SchedSnapshot {
         // Per-arc estimate inputs, resolved in CSR order.
         let mut est_delay = Vec::with_capacity(cols.len());
         let mut arc_q = Vec::with_capacity(cols.len());
-        let mut qlen_hist = Vec::new();
+        let mut qlen_hist = Vec::with_capacity(hist_hint);
         for u in 0..nodes.len() {
             let from = nodes[u];
             for i in row[u] as usize..row[u + 1] as usize {
@@ -147,20 +194,49 @@ impl SchedSnapshot {
             cfg: Arc::clone(cfg),
             distances: Arc::clone(distances),
             seed,
-            nodes,
-            row,
-            cols,
+            topo: Arc::new(CsrTopo { nodes, row, cols, hosts: map.hosts().collect() }),
+            topo_gen,
+            layout_gen,
             weights,
             est_delay,
             arc_q,
             qlen_hist,
-            hosts: map.hosts().collect(),
             origins: collector
                 .origin_stats_all()
                 .filter(|(_, st)| st.received > 0)
                 .map(|(o, st)| (o, st.last_rx_ns))
                 .collect(),
         }
+    }
+
+    /// Semantic equality of everything a query can observe: structure,
+    /// weights, delays, origins, and per-arc queue evidence with history
+    /// *runs* compared by content. (Byte-comparing `qlen_hist` directly
+    /// would also compare slot padding, which legitimately differs
+    /// between a fresh full build and an incrementally patched epoch.)
+    pub fn content_eq(&self, other: &SchedSnapshot) -> bool {
+        self.epoch == other.epoch
+            && self.published_at_ns == other.published_at_ns
+            && self.seed == other.seed
+            && self.topo.nodes == other.topo.nodes
+            && self.topo.row == other.topo.row
+            && self.topo.cols == other.topo.cols
+            && self.topo.hosts == other.topo.hosts
+            && self.weights == other.weights
+            && self.est_delay == other.est_delay
+            && self.origins == other.origins
+            && self.arc_q.len() == other.arc_q.len()
+            && self.arc_q.iter().zip(&other.arc_q).all(|(a, b)| {
+                a.present == b.present
+                    && a.updated_ns == b.updated_ns
+                    && a.at_probe_pkts == b.at_probe_pkts
+                    && self.hist_run(a) == other.hist_run(b)
+            })
+    }
+
+    /// The live entries of one arc's history slot (padding excluded).
+    fn hist_run(&self, a: &ArcQlen) -> &[(u64, u32)] {
+        &self.qlen_hist[a.hist_start as usize..(a.hist_start + a.hist_len) as usize]
     }
 
     /// The epoch counter this snapshot was published as.
@@ -175,17 +251,17 @@ impl SchedSnapshot {
 
     /// Nodes in the frozen graph (diagnostics).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.topo.nodes.len()
     }
 
     /// Directed arcs in the frozen graph (diagnostics).
     pub fn arc_count(&self) -> usize {
-        self.cols.len()
+        self.topo.cols.len()
     }
 
     /// Candidate hosts known to this epoch, ascending.
     pub fn hosts(&self) -> &[u32] {
-        &self.hosts
+        &self.topo.hosts
     }
 
     /// Rank for `requester` under `policy`, evaluated purely against this
@@ -228,7 +304,7 @@ impl SchedSnapshot {
         // rule as `SchedulerCore::candidates_for`.
         let mut candidates = std::mem::take(&mut scratch.candidates);
         candidates.clear();
-        candidates.extend(self.hosts.iter().copied().filter(|&h| h != requester));
+        candidates.extend(self.topo.hosts.iter().copied().filter(|&h| h != requester));
 
         if matches!(policy, Policy::Nearest | Policy::Random) {
             out.ranked.reserve(candidates.len());
@@ -350,7 +426,7 @@ impl SchedSnapshot {
             let (u, v) = (w[0], w[1]);
             let ai = self.arc_index(u, v).expect("path arcs exist in the CSR");
             link_delay_ns = link_delay_ns.saturating_add(self.est_delay[ai]);
-            if matches!(self.nodes[u as usize], NetNode::Switch(_)) {
+            if matches!(self.topo.nodes[u as usize], NetNode::Switch(_)) {
                 let q = self.arc_qlen(ai, now_ns);
                 hop_delay_ns =
                     hop_delay_ns.saturating_add(self.cfg.k_ns_per_pkt.saturating_mul(q as u64));
@@ -372,15 +448,20 @@ impl SchedSnapshot {
         }
         scratch.stats.cache_misses += 1;
         let mut out: Vec<Vec<u32>> = Vec::new();
-        if self.resolve_path(scratch, from, to) {
-            out.push(scratch.path_buf.clone());
+        // First path straight off the shared SSSP into the cache-owned
+        // Vec — no detour through `path_buf` + clone, and no entry in the
+        // single-path cache (the k-set cache alone answers k > 1).
+        self.ensure_sssp(scratch, from);
+        let mut first = Vec::new();
+        if self.extract_path_into(scratch, from, to, &mut first) {
+            out.push(first);
             let k = self.cfg.k_paths.max(1);
             if k > 1 {
                 scratch.arc_mask.clear();
-                scratch.arc_mask.resize(self.cols.len(), false);
+                scratch.arc_mask.resize(self.topo.cols.len(), false);
                 for _ in 1..k {
-                    let last = out.last().expect("non-empty").clone();
-                    self.ban_interior_edges(scratch, &last);
+                    let last = out.last().expect("non-empty");
+                    self.ban_interior_edges(scratch, last);
                     let Some(p) = self.masked_path(scratch, from, to) else { break };
                     if out.contains(&p) {
                         break;
@@ -399,8 +480,8 @@ impl SchedSnapshot {
     fn ban_interior_edges(&self, scratch: &mut SnapshotScratch, path: &[u32]) {
         for w in path.windows(2) {
             let (u, v) = (w[0], w[1]);
-            if matches!(self.nodes[u as usize], NetNode::Switch(_))
-                && matches!(self.nodes[v as usize], NetNode::Switch(_))
+            if matches!(self.topo.nodes[u as usize], NetNode::Switch(_))
+                && matches!(self.topo.nodes[v as usize], NetNode::Switch(_))
             {
                 for (a, b) in [(u, v), (v, u)] {
                     if let Some(ai) = self.arc_index(a, b) {
@@ -415,7 +496,7 @@ impl SchedSnapshot {
     /// masked scratch buffers — never the shared SSSP's, so memoized
     /// single-path state survives. Tie-breaks equal the shared SSSP's.
     fn masked_path(&self, scratch: &mut SnapshotScratch, from: u32, to: u32) -> Option<Vec<u32>> {
-        let n = self.nodes.len();
+        let n = self.topo.nodes.len();
         scratch.mdist.clear();
         scratch.mdist.resize(n, u64::MAX);
         scratch.mprev.clear();
@@ -431,11 +512,11 @@ impl SchedSnapshot {
             if u == to {
                 break;
             }
-            for i in self.row[u as usize] as usize..self.row[u as usize + 1] as usize {
+            for i in self.topo.row[u as usize] as usize..self.topo.row[u as usize + 1] as usize {
                 if scratch.arc_mask[i] {
                     continue;
                 }
-                let v = self.cols[i];
+                let v = self.topo.cols[i];
                 let nd = d.saturating_add(self.weights[i]);
                 if nd < scratch.mdist[v as usize] {
                     scratch.mdist[v as usize] = nd;
@@ -480,26 +561,46 @@ impl SchedSnapshot {
         }
         scratch.stats.cache_misses += 1;
         self.ensure_sssp(scratch, from);
-        scratch.path_buf.clear();
-        let reachable = scratch.dist[to as usize] != u64::MAX && {
-            let mut cur = to;
-            scratch.path_buf.push(cur);
-            loop {
-                if cur == from {
-                    scratch.path_buf.reverse();
-                    break true;
-                }
-                cur = scratch.prev[cur as usize];
-                if cur == NO_PREV {
-                    break false;
-                }
-                scratch.path_buf.push(cur);
-            }
-        };
-        scratch
-            .cache
-            .insert((from, to), reachable.then(|| scratch.path_buf.clone()));
+        // Extract once into the Vec the cache will own; `path_buf` takes
+        // a copy for the caller — no second clone per miss.
+        let mut owned = Vec::new();
+        let reachable = self.extract_path_into(scratch, from, to, &mut owned);
+        if reachable {
+            scratch.path_buf.clear();
+            scratch.path_buf.extend_from_slice(&owned);
+        }
+        scratch.cache.insert((from, to), reachable.then_some(owned));
         reachable
+    }
+
+    /// Walk the shared SSSP's predecessor chain into `out` (endpoints
+    /// included, forward order). Requires `ensure_sssp(scratch, from)`
+    /// to have run. Returns false (clearing `out`) when unreachable.
+    fn extract_path_into(
+        &self,
+        scratch: &SnapshotScratch,
+        from: u32,
+        to: u32,
+        out: &mut Vec<u32>,
+    ) -> bool {
+        out.clear();
+        if scratch.dist[to as usize] == u64::MAX {
+            return false;
+        }
+        let mut cur = to;
+        out.push(cur);
+        loop {
+            if cur == from {
+                out.reverse();
+                return true;
+            }
+            cur = scratch.prev[cur as usize];
+            if cur == NO_PREV {
+                out.clear();
+                return false;
+            }
+            out.push(cur);
+        }
     }
 
     /// Run (or reuse) the shared single-source Dijkstra from `source` in
@@ -510,7 +611,7 @@ impl SchedSnapshot {
             return;
         }
         scratch.stats.sssp_runs += 1;
-        let n = self.nodes.len();
+        let n = self.topo.nodes.len();
         scratch.dist.clear();
         scratch.dist.resize(n, u64::MAX);
         scratch.prev.clear();
@@ -523,8 +624,8 @@ impl SchedSnapshot {
             if scratch.dist[u as usize] < d {
                 continue; // stale heap entry
             }
-            for i in self.row[u as usize] as usize..self.row[u as usize + 1] as usize {
-                let v = self.cols[i];
+            for i in self.topo.row[u as usize] as usize..self.topo.row[u as usize + 1] as usize {
+                let v = self.topo.cols[i];
                 let nd = d.saturating_add(self.weights[i]);
                 if nd < scratch.dist[v as usize] {
                     scratch.dist[v as usize] = nd;
@@ -538,14 +639,14 @@ impl SchedSnapshot {
 
     /// Dense id of a node, if it is part of the snapshot.
     fn node_id(&self, n: NetNode) -> Option<u32> {
-        self.nodes.binary_search(&n).ok().map(|i| i as u32)
+        self.topo.nodes.binary_search(&n).ok().map(|i| i as u32)
     }
 
     /// Index of the `u → v` arc in the CSR (binary search within the row).
     fn arc_index(&self, u: u32, v: u32) -> Option<usize> {
-        let start = self.row[u as usize] as usize;
-        let end = self.row[u as usize + 1] as usize;
-        self.cols[start..end].binary_search(&v).ok().map(|i| start + i)
+        let start = self.topo.row[u as usize] as usize;
+        let end = self.topo.row[u as usize + 1] as usize;
+        self.topo.cols[start..end].binary_search(&v).ok().map(|i| start + i)
     }
 
     /// Effective queue length of an arc at `now_ns` — the frozen-evidence
@@ -675,6 +776,299 @@ impl SnapshotScratch {
     }
 }
 
+/// Publish counters (diagnostics, tests, benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishStats {
+    /// Epochs built by the full O(topology) rebuild.
+    pub full_builds: u64,
+    /// Epochs built by the O(dirty) incremental patch path.
+    pub incremental_builds: u64,
+}
+
+/// The epoch publisher: owns the CSR build machinery and the previous
+/// epochs needed for O(dirty) incremental publication.
+///
+/// While the map's topology generation holds, each publish starts from
+/// the previous epoch's arrays (structure shared via `Arc`, per-epoch
+/// arrays recycled from the epoch-before-last when no reader holds it),
+/// reprices only the arcs of edges on the map's dirty list, and splices
+/// only their `qlen_hist` runs. Any structural change — or a history run
+/// outgrowing its reserved slot — falls back to the full rebuild, which
+/// remains the oracle: an incremental epoch is pinned `content_eq` to
+/// what the full build would have produced (proptests).
+///
+/// The escape hatch `INT_SNAP_INCREMENTAL=0` forces every publish down
+/// the full-rebuild path.
+#[derive(Debug)]
+pub struct SnapshotPublisher {
+    engine: PathEngine,
+    incremental: bool,
+    /// Most recently published epoch.
+    prev: Option<Arc<SchedSnapshot>>,
+    /// Epoch before that — the recycling candidate: once every shard has
+    /// moved on, `Arc::try_unwrap` reclaims its arrays for the next build.
+    older: Option<Arc<SchedSnapshot>>,
+    /// Dirty edges drained from the map for the in-flight publish.
+    dirty: Vec<crate::map::EdgeId>,
+    /// Dirty set of the *previous* publish (the diff `older → prev`);
+    /// recycling `older`'s arrays patches the union of both sets.
+    prev_dirty: Vec<crate::map::EdgeId>,
+    /// Monotone id source for `SchedSnapshot::layout_gen`.
+    layout_counter: u64,
+    stats: PublishStats,
+}
+
+impl Default for SnapshotPublisher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SnapshotPublisher {
+    /// A publisher with incremental publication enabled unless the
+    /// `INT_SNAP_INCREMENTAL=0` escape hatch is set.
+    pub fn new() -> Self {
+        let incremental =
+            std::env::var("INT_SNAP_INCREMENTAL").map(|v| v != "0").unwrap_or(true);
+        SnapshotPublisher {
+            engine: PathEngine::new(),
+            incremental,
+            prev: None,
+            older: None,
+            dirty: Vec::new(),
+            prev_dirty: Vec::new(),
+            layout_counter: 0,
+            stats: PublishStats::default(),
+        }
+    }
+
+    /// Force the incremental path on or off (benches, A/B smokes).
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+    }
+
+    /// Is the incremental path enabled?
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental
+    }
+
+    /// Publish counters so far.
+    pub fn stats(&self) -> PublishStats {
+        self.stats
+    }
+
+    /// Freeze the collector's current state as epoch `epoch`. Drains the
+    /// map's dirty-edge list; takes the incremental path when enabled,
+    /// the topology generation is unchanged since the previous publish,
+    /// and the publish inputs (cfg/distances/seed) are the same.
+    pub fn publish(
+        &mut self,
+        collector: &mut IntCollector,
+        cfg: &Arc<CoreConfig>,
+        distances: &Arc<StaticDistances>,
+        seed: u64,
+        epoch: u64,
+        published_at_ns: u64,
+    ) -> Arc<SchedSnapshot> {
+        collector.map_mut().take_dirty_into(&mut self.dirty);
+        let topo_gen = collector.map().topology_generation();
+        let reusable = self.incremental
+            && self.prev.as_ref().is_some_and(|p| {
+                p.topo_gen == topo_gen
+                    && p.seed == seed
+                    && Arc::ptr_eq(&p.cfg, cfg)
+                    && Arc::ptr_eq(&p.distances, distances)
+            });
+        let snap = if reusable {
+            match self.build_incremental(collector, cfg, epoch, published_at_ns) {
+                Some(s) => {
+                    self.stats.incremental_builds += 1;
+                    s
+                }
+                None => self.full(collector, cfg, distances, seed, epoch, published_at_ns),
+            }
+        } else {
+            self.full(collector, cfg, distances, seed, epoch, published_at_ns)
+        };
+        let snap = Arc::new(snap);
+        self.older = self.prev.take();
+        self.prev = Some(Arc::clone(&snap));
+        // The in-flight dirty set becomes the `older → prev` diff.
+        std::mem::swap(&mut self.prev_dirty, &mut self.dirty);
+        snap
+    }
+
+    /// The full-rebuild path, pre-sizing `qlen_hist` from the previous
+    /// epoch and stamping a fresh slot-layout id.
+    fn full(
+        &mut self,
+        collector: &IntCollector,
+        cfg: &Arc<CoreConfig>,
+        distances: &Arc<StaticDistances>,
+        seed: u64,
+        epoch: u64,
+        published_at_ns: u64,
+    ) -> SchedSnapshot {
+        self.stats.full_builds += 1;
+        self.layout_counter += 1;
+        let hist_hint = self.prev.as_ref().map_or(0, |p| p.qlen_hist.len());
+        SchedSnapshot::build_full(
+            collector,
+            &mut self.engine,
+            cfg,
+            distances,
+            seed,
+            epoch,
+            published_at_ns,
+            hist_hint,
+            self.layout_counter,
+        )
+    }
+
+    /// The O(dirty) path: start from the previous epoch's arrays and
+    /// reprice only the dirty edges' arcs. Returns `None` (caller falls
+    /// back to the full rebuild) if any history run outgrew its slot or
+    /// a dirty edge can no longer be resolved against the structure.
+    fn build_incremental(
+        &mut self,
+        collector: &IntCollector,
+        cfg: &CoreConfig,
+        epoch: u64,
+        published_at_ns: u64,
+    ) -> Option<SchedSnapshot> {
+        let map = collector.map();
+        let prev = self.prev.as_ref().expect("incremental requires a previous epoch");
+
+        // Reclaim the epoch-before-last's arrays if no reader holds them.
+        let spare = self.older.take().and_then(|a| Arc::try_unwrap(a).ok());
+        let (mut weights, mut est_delay, mut arc_q, mut qlen_hist, mut origins, patch_union);
+        match spare {
+            Some(s) if s.layout_gen == prev.layout_gen && s.epoch + 1 == prev.epoch => {
+                // `s` differs from `prev` exactly by `prev_dirty`: patch
+                // the union of both dirty sets in place, copy nothing.
+                weights = s.weights;
+                est_delay = s.est_delay;
+                arc_q = s.arc_q;
+                qlen_hist = s.qlen_hist;
+                origins = s.origins;
+                patch_union = true;
+            }
+            Some(s) => {
+                // Layout lineage broken (full rebuild in between): reuse
+                // the allocations but copy the previous epoch wholesale.
+                weights = s.weights;
+                weights.clone_from(&prev.weights);
+                est_delay = s.est_delay;
+                est_delay.clone_from(&prev.est_delay);
+                arc_q = s.arc_q;
+                arc_q.clone_from(&prev.arc_q);
+                qlen_hist = s.qlen_hist;
+                qlen_hist.clone_from(&prev.qlen_hist);
+                origins = s.origins;
+                patch_union = false;
+            }
+            None => {
+                weights = prev.weights.clone();
+                est_delay = prev.est_delay.clone();
+                arc_q = prev.arc_q.clone();
+                qlen_hist = prev.qlen_hist.clone();
+                origins = Vec::new();
+                patch_union = false;
+            }
+        }
+
+        // Patch is idempotent per edge (recomputed from the current map),
+        // so overlapping union entries are harmless.
+        let lists: &[&[crate::map::EdgeId]] =
+            if patch_union { &[&self.prev_dirty, &self.dirty] } else { &[&self.dirty] };
+        for list in lists {
+            for &id in *list {
+                patch_edge(map, cfg, prev, id, &mut weights, &mut est_delay, &mut arc_q, &mut qlen_hist)?;
+            }
+        }
+
+        origins.clear();
+        origins.extend(
+            collector
+                .origin_stats_all()
+                .filter(|(_, st)| st.received > 0)
+                .map(|(o, st)| (o, st.last_rx_ns)),
+        );
+
+        Some(SchedSnapshot {
+            epoch,
+            published_at_ns,
+            cfg: Arc::clone(&prev.cfg),
+            distances: Arc::clone(&prev.distances),
+            seed: prev.seed,
+            topo: Arc::clone(&prev.topo),
+            topo_gen: prev.topo_gen,
+            layout_gen: prev.layout_gen,
+            weights,
+            est_delay,
+            arc_q,
+            qlen_hist,
+            origins,
+        })
+    }
+}
+
+/// Reprice both CSR arc orientations of one dirty edge from the current
+/// map state: traversal weight, unclamped estimate delay, and queue
+/// evidence (history run spliced into the arc's reserved slot). Returns
+/// `None` when the arc's slot can't absorb the run (or the edge/nodes
+/// can't be resolved), signalling a full rebuild.
+#[allow(clippy::too_many_arguments)]
+fn patch_edge(
+    map: &NetworkMap,
+    cfg: &CoreConfig,
+    prev: &SchedSnapshot,
+    id: crate::map::EdgeId,
+    weights: &mut [u64],
+    est_delay: &mut [u64],
+    arc_q: &mut [ArcQlen],
+    qlen_hist: &mut [(u64, u32)],
+) -> Option<()> {
+    // A dirty edge that died implies an eviction, which bumps `topo_gen`
+    // and routes to the full rebuild — reaching here means stale state.
+    let (a, b, _) = map.edge_by_id(id)?;
+    let ia = prev.node_id(a)?;
+    let ib = prev.node_id(b)?;
+    // Evidence on edge (a,b) feeds arc (a,b) directly and arc (b,a) via
+    // the reverse-direction fallback: recompute both orientations.
+    for (u, v) in [(ia, ib), (ib, ia)] {
+        let Some(ai) = prev.arc_index(u, v) else { continue };
+        let from = prev.topo.nodes[u as usize];
+        let to = prev.topo.nodes[v as usize];
+        let est = map.effective_delay_ns(cfg, from, to).unwrap_or(cfg.unmeasured_delay_ns);
+        est_delay[ai] = est;
+        weights[ai] = est.max(1);
+        // Same edge resolution as `resolve_qlen`.
+        let edge = map.edge(from, to).or_else(|| {
+            if cfg.direction_fallback == DirectionFallback::ReverseOk {
+                map.edge(to, from)
+            } else {
+                None
+            }
+        });
+        if let Some(e) = edge {
+            let q = &mut arc_q[ai];
+            let len = e.qlen_history.len();
+            if !q.present || len > q.hist_cap as usize {
+                return None; // structure drifted or run outgrew its slot
+            }
+            let start = q.hist_start as usize;
+            qlen_hist[start..start + len].copy_from_slice(&e.qlen_history);
+            q.hist_len = len as u32;
+            q.updated_ns = e.qlen_updated_ns;
+            q.at_probe_pkts = e.qlen_at_probe_pkts;
+        }
+        // `edge == None` (Strict fallback, unprobed orientation) leaves
+        // the arc's `NO_QLEN` evidence untouched — same as a full build.
+    }
+    Some(())
+}
+
 /// Resolve which directed edge answers queue questions for the `from → to`
 /// arc, copying its harvest history into the snapshot's flat store.
 fn resolve_qlen(
@@ -694,12 +1088,18 @@ fn resolve_qlen(
     let Some(e) = edge else { return NO_QLEN };
     let hist_start = qlen_hist.len() as u32;
     qlen_hist.extend_from_slice(&e.qlen_history);
+    let hist_len = (qlen_hist.len() as u32) - hist_start;
+    // Reserve headroom (≥4 entries, ~1.5× the current run) so incremental
+    // publishes can splice a grown run in place; pad with inert entries.
+    let hist_cap = hist_len + (hist_len / 2).max(4);
+    qlen_hist.resize(hist_start as usize + hist_cap as usize, (0, 0));
     ArcQlen {
         present: true,
         updated_ns: e.qlen_updated_ns,
         at_probe_pkts: e.qlen_at_probe_pkts,
         hist_start,
-        hist_len: (qlen_hist.len() as u32) - hist_start,
+        hist_len,
+        hist_cap,
     }
 }
 

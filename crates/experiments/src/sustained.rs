@@ -250,17 +250,22 @@ pub fn run_with(seed: u64, rounds: usize, qpr: usize, shards: usize) -> (Sustain
     let mut queries = Vec::with_capacity(qpr);
     let mut outcomes: Vec<RankOutcome> = Vec::with_capacity(qpr);
     let mut batch_ns: Vec<u64> = Vec::with_capacity(rounds);
+    let mut backlog: Vec<ProbePayload> = Vec::with_capacity(HOSTS as usize);
     let t0 = Instant::now();
     let mut serve_ns = 0u64;
 
     for round in 0..rounds {
         let now = (round as u64 + 1) * ROUND_NS;
+        // The round's probes arrive as a backlog and are drained into
+        // one epoch — the batched ingest path (identical map state to
+        // ingesting them one at a time, which `run_oracle` still does).
+        backlog.clear();
         for h in 0..HOSTS {
             if !faulted(seed, rounds, round, h) {
-                sched.core_mut().collector_mut().ingest(&probe_for(seed, round, h, now), now);
+                backlog.push(probe_for(seed, round, h, now));
             }
         }
-        sched.advance(now);
+        sched.ingest_batch(&backlog, now);
         queries_for(round, qpr, now, &mut queries);
         let t = Instant::now();
         sched.serve_batch(&queries, &mut outcomes);

@@ -33,13 +33,19 @@ echo "$bench_log"
 # sim_throughput/domains_{1,2,4} (PR 9) guard results/bench_pr9.json:
 # the conservative parallel engine at each domain count (domains_1 is
 # the plain-engine baseline the overhead is priced against).
+# publish_throughput/clos_512s/{full,incremental} and
+# ingest_throughput/clos_512s_960probes (PR 10) guard
+# results/bench_pr10.json: the O(dirty) incremental epoch publish vs
+# the full rebuild, and the dense edge-indexed batched probe drain.
 for name in push_pop_far_1k timer_heavy_20s flow_table/lpm_indexed/512 flow_table/lpm_linear/512 \
             rank_throughput/testbed_8h rank_throughput/fabric_64s_128h \
             rank_throughput_mt/fabric_64s_128h/1 rank_throughput_mt/fabric_64s_128h/2 \
             rank_throughput_mt/fabric_64s_128h/4 rank_throughput_mt/fabric_64s_128h/8 \
             rank_throughput_kpaths/fabric_mp_128h/1 rank_throughput_kpaths/fabric_mp_128h/4 \
             fabric_build/clos_128s_240h \
-            sim_throughput/domains_1 sim_throughput/domains_2 sim_throughput/domains_4; do
+            sim_throughput/domains_1 sim_throughput/domains_2 sim_throughput/domains_4 \
+            publish_throughput/clos_512s/full publish_throughput/clos_512s/incremental \
+            ingest_throughput/clos_512s_960probes; do
     grep -q "$name" <<<"$bench_log" \
         || { echo "bench smoke: $name missing from harness"; exit 1; }
 done
@@ -93,7 +99,8 @@ echo "== sustained load (smoke)"
 # admission order).
 one_dir="$(mktemp -d)"
 many_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir" "$nocache_dir" "$one_dir" "$many_dir"' EXIT
+fullpub_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$nocache_dir" "$one_dir" "$many_dir" "$fullpub_dir"' EXIT
 INT_RESULTS_DIR="$one_dir" INT_SCHED_SHARDS=1 \
     cargo run --release -q -p int-experiments --bin repro -- sustained --seed 1 --scale 0.05
 INT_RESULTS_DIR="$many_dir" \
@@ -102,6 +109,13 @@ cmp "$one_dir/sustained.json" "$many_dir/sustained.json" \
     || { echo "sustained smoke: shard count changed the artifact"; exit 1; }
 grep -q '"digest"' "$one_dir/sustained.json" \
     || { echo "sustained smoke: artifact has no digest"; exit 1; }
+# Incremental epoch publication (PR 10) is a publish-cost strategy, not
+# a semantics change: forcing every epoch down the full-rebuild path
+# must reproduce the artifact byte-for-byte.
+INT_RESULTS_DIR="$fullpub_dir" INT_SNAP_INCREMENTAL=0 \
+    cargo run --release -q -p int-experiments --bin repro -- sustained --seed 1 --scale 0.05
+cmp "$one_dir/sustained.json" "$fullpub_dir/sustained.json" \
+    || { echo "sustained smoke: INT_SNAP_INCREMENTAL changed the artifact"; exit 1; }
 
 echo "== shard stress (publish/read races)"
 # One extra pass over the concurrency tests with the stress cfg: more
@@ -166,7 +180,9 @@ gd_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir" "$nocache_dir" "$one_dir" "$many_dir" "$wf_dir" "$gs_dir" "$gi_dir" "$gd_dir"' EXIT
 INT_RESULTS_DIR="$gs_dir" INT_OBS_STREAM=1 INT_SIM_DOMAINS=1 \
     cargo run --release -q -p int-experiments --bin repro -- giant --seed 1 --scale 0.02
-INT_RESULTS_DIR="$gi_dir" INT_OBS_STREAM=0 INT_SIM_DOMAINS=1 \
+# INT_SNAP_INCREMENTAL=0 rides along on this variant: the giant run's
+# epoch export must be indifferent to the snapshot publisher's strategy.
+INT_RESULTS_DIR="$gi_dir" INT_OBS_STREAM=0 INT_SIM_DOMAINS=1 INT_SNAP_INCREMENTAL=0 \
     cargo run --release -q -p int-experiments --bin repro -- giant --seed 1 --scale 0.02
 cmp "$gs_dir/giant.jsonl" "$gi_dir/giant.jsonl" \
     || { echo "giant smoke: INT_OBS_STREAM changed the epoch export"; exit 1; }

@@ -1,0 +1,129 @@
+//! Property-based pinning of the O(dirty) incremental epoch publisher
+//! against the full-rebuild oracle.
+//!
+//! A random op sequence of probe updates (varying routes, latencies,
+//! queues, clock steps) interleaved with stale-link evictions drives
+//! three planes over identical collector state:
+//!
+//! * a [`SnapshotPublisher`] with the incremental path enabled (the
+//!   default) — patches dirty arcs in place while `topo_gen` holds,
+//!   recycling the epoch-before-last's arrays when no reader pins them;
+//! * a [`SnapshotPublisher`] with the incremental path forced off —
+//!   every epoch is a full rebuild through the same publisher plumbing;
+//! * the raw [`SchedSnapshot::build`] oracle with a fresh engine.
+//!
+//! After **every** epoch all three snapshots must agree on all content
+//! (`content_eq`: topology arrays, weights, delay estimates, queue
+//! evidence runs, origin table) — only the physical `qlen_hist` slack
+//! layout may differ. Occasional epochs are pinned alive in a reader
+//! Vec so the publisher exercises all three buffer paths: recycled
+//! spare (union patch), allocation reuse (clone_from), and fresh clone.
+
+use int_edge_sched::core::rank::StaticDistances;
+use int_edge_sched::core::{
+    CoreConfig, IntCollector, PathEngine, SchedSnapshot, SnapshotPublisher,
+};
+use int_edge_sched::packet::int::IntRecord;
+use int_edge_sched::packet::ProbePayload;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const SCHED: u32 = 100;
+const EVICT_HORIZON_NS: u64 = 350_000_000;
+
+fn probe(origin: u32, route: u32, lat_ms: u64, qlen: u32, seq: u64, now_ns: u64) -> ProbePayload {
+    // Three route shapes per origin: a dedicated star switch, a detour
+    // over the shared spine 20, and a cross route through the
+    // neighbour's star switch — the proptest_core churn recipe.
+    let chain: Vec<u32> = match route {
+        0 => vec![10 + origin],
+        1 => vec![10 + origin, 20],
+        _ => vec![20, 10 + (origin + 1) % 5],
+    };
+    let mut p = ProbePayload::new(origin, seq, 0);
+    let last = chain.len() as u64 - 1;
+    for (i, sw) in chain.iter().enumerate() {
+        p.int.push(IntRecord {
+            switch_id: *sw,
+            ingress_port: 0,
+            egress_port: 1,
+            max_qlen_pkts: qlen,
+            qlen_at_probe_pkts: qlen / 2,
+            link_latency_ns: lat_ms * 1_000_000,
+            egress_ts_ns: now_ns - (last - i as u64) * lat_ms * 1_000_000,
+        });
+    }
+    p
+}
+
+proptest! {
+    #[test]
+    fn incremental_publish_matches_full_rebuild_oracle(
+        ops in proptest::collection::vec(
+            // (origin, route shape, link latency ms, queue, clock step ms, op kind)
+            (0u32..5, 0u32..3, 1u64..50, 0u32..40, 1u64..250, 0u8..8),
+            1..40,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let cfg = Arc::new(CoreConfig::default());
+        let distances = Arc::new(StaticDistances::new());
+
+        // Two collectors fed identically: each publisher must drain its
+        // own dirty list without seeing the other's take.
+        let mut col_inc = IntCollector::new(SCHED);
+        let mut col_full = IntCollector::new(SCHED);
+        let mut pub_inc = SnapshotPublisher::new();
+        pub_inc.set_incremental(true);
+        let mut pub_full = SnapshotPublisher::new();
+        pub_full.set_incremental(false);
+        let mut engine = PathEngine::new();
+
+        let mut now_ns: u64 = 1_000_000_000;
+        let mut pinned: Vec<Arc<SchedSnapshot>> = Vec::new();
+
+        for (seq, &(origin, route, lat_ms, qlen, dt_ms, kind)) in ops.iter().enumerate() {
+            now_ns += dt_ms * 1_000_000;
+            if kind == 7 {
+                col_inc.map_mut().evict_stale(now_ns, EVICT_HORIZON_NS);
+                col_full.map_mut().evict_stale(now_ns, EVICT_HORIZON_NS);
+            } else {
+                let p = probe(origin, route, lat_ms, qlen, seq as u64 + 1, now_ns);
+                col_inc.ingest(&p, now_ns);
+                col_full.ingest(&p, now_ns);
+            }
+
+            let epoch = seq as u64 + 1;
+            let inc = pub_inc.publish(&mut col_inc, &cfg, &distances, seed, epoch, now_ns);
+            let full = pub_full.publish(&mut col_full, &cfg, &distances, seed, epoch, now_ns);
+            let oracle = SchedSnapshot::build(
+                &col_inc, &mut engine, &cfg, &distances, seed, epoch, now_ns,
+            );
+
+            prop_assert!(
+                inc.content_eq(&full),
+                "incremental vs full publisher diverged after op {seq} (kind {kind})"
+            );
+            prop_assert!(
+                inc.content_eq(&oracle),
+                "incremental publisher vs raw oracle diverged after op {seq} (kind {kind})"
+            );
+
+            // Pin every third epoch like a slow reader shard would: the
+            // publisher must fall back to cloning instead of recycling.
+            if seq % 3 == 0 {
+                pinned.push(Arc::clone(&inc));
+            }
+        }
+
+        // The incremental publisher actually took the fast path at least
+        // once on any run long enough to have two same-topology epochs
+        // in a row (metric-only refreshes of existing edges).
+        let stats = pub_inc.stats();
+        prop_assert_eq!(
+            stats.full_builds + stats.incremental_builds,
+            ops.len() as u64
+        );
+        prop_assert_eq!(pub_full.stats().incremental_builds, 0);
+    }
+}
